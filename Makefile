@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-paper bench-ablations examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+bench-paper:
+	python -m repro.bench
+
+bench-ablations:
+	python -m repro.bench ablation_gorder_window ablation_hub_cutoff \
+		ablation_metis_part_order ablation_cache_geometry \
+		ablation_minloga ablation_community_order ablation_prefetch \
+		ext_kernels ext_packing ext_hybrid ext_minla
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Experiments are deterministic and expensive, so every benchmark runs the
+experiment exactly once through ``benchmark.pedantic`` and prints the
+reproduced table/figure (visible with ``pytest -s``).  The printed output
+is the reproduction artifact; the assertions check the paper's qualitative
+shape (who wins, roughly by how much).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment function once under pytest-benchmark and print it."""
+
+    def runner(func, *args, **kwargs):
+        result = benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(f"== {result.experiment_id}: {result.title} ==")
+            print(result.text)
+        return result
+
+    return runner

@@ -1,0 +1,101 @@
+"""Ablation benchmarks for the design choices DESIGN.md Section 5 lists."""
+
+import pytest
+
+from repro.bench.ablations import (
+    cache_geometry_sweep,
+    community_order_composition,
+    gorder_window_sweep,
+    hub_cutoff_sweep,
+    metis_part_order,
+    minloga_profile,
+)
+
+
+def test_gorder_window(run_experiment):
+    result = run_experiment(gorder_window_sweep)
+    auc = result.data["auc"]
+    # A window of 1 (edges only, no sibling score context) should not be
+    # the best configuration — the sibling term needs room.
+    best = max(auc, key=auc.get)
+    assert best != "gorder_w1"
+
+
+def test_hub_cutoff(run_experiment):
+    result = run_experiment(hub_cutoff_sweep)
+    for ds, sweeps in result.data.items():
+        hubs = [v["num_hubs"] for v in sweeps.values()]
+        # raising the cutoff monotonically shrinks the hub set
+        assert hubs == sorted(hubs, reverse=True), ds
+
+
+def test_metis_part_order(run_experiment):
+    result = run_experiment(metis_part_order)
+    hier_wins = 0
+    cells = 0
+    for sweeps in result.data.values():
+        for k, gaps in sweeps.items():
+            cells += 1
+            if gaps["hierarchical"] <= gaps["shuffle"] * 1.05:
+                hier_wins += 1
+    # hierarchical part sequencing is at least as good nearly everywhere —
+    # the mechanism behind Figure 7's interior optimum.
+    assert hier_wins >= cells * 0.8
+
+
+def test_cache_geometry(run_experiment):
+    result = run_experiment(cache_geometry_sweep)
+    data = result.data
+    sizes = sorted(data)
+    # a bigger L3 never hurts the bad ordering
+    random_lat = [data[s]["random"] for s in sizes]
+    assert random_lat == sorted(random_lat, reverse=True)
+    # the ordering gap shrinks as L3 grows toward the working set
+    gap_small = data[sizes[0]]["random"] - data[sizes[0]]["grappolo"]
+    gap_large = data[sizes[-1]]["random"] - data[sizes[-1]]["grappolo"]
+    assert gap_large <= gap_small + 1.0
+
+
+def test_minloga(run_experiment):
+    result = run_experiment(minloga_profile)
+    auc = result.data["auc"]
+    # the compression objective favours community/partition schemes too
+    assert auc["grappolo"] > auc["random"]
+    assert auc["rcm"] > auc["random"]
+
+
+def test_community_order_composition(run_experiment):
+    result = run_experiment(community_order_composition)
+    for ds, variants in result.data.items():
+        # RCM-ordered communities never lose badly to arbitrary order,
+        # and randomised community order is the worst or close to it.
+        assert variants["grappolo_rcm"] <= (
+            variants["grappolo_random_comm_order"] * 1.1
+        ), ds
+
+
+def test_prefetcher(run_experiment):
+    from repro.bench.ablations import prefetcher_ablation
+
+    result = run_experiment(prefetcher_ablation)
+    data = result.data
+    for scheme, by_mode in data.items():
+        # prefetching never increases the average latency
+        assert by_mode[True] <= by_mode[False] + 0.5, scheme
+    # prefetching narrows but does not close the ordering gap
+    gap_off = data["random"][False] - data["grappolo"][False]
+    gap_on = data["random"][True] - data["grappolo"][True]
+    assert gap_on > 0
+    assert gap_on <= gap_off + 0.5
+
+
+def test_write_traffic(run_experiment):
+    from repro.bench.ablations import write_traffic_ablation
+
+    result = run_experiment(write_traffic_ablation)
+    data = result.data
+    # a community ordering batches dirty lines: strictly fewer writebacks
+    # than a random layout
+    assert data["grappolo"]["writebacks"] < data["random"]["writebacks"]
+    for per_scheme in data.values():
+        assert per_scheme["writebacks"] >= 0

@@ -1,0 +1,28 @@
+"""Figure 10: memory hierarchy counters for community detection."""
+
+from repro.bench import fig10
+
+
+def test_fig10(run_experiment):
+    result = run_experiment(fig10)
+    reports = result.data["reports"]
+    assert len(reports) == 5  # five largest graphs
+
+    for ds, per_scheme in reports.items():
+        for scheme, report in per_scheme.items():
+            c = report.counters
+            assert c.average_latency > 0, (ds, scheme)
+            # Boundedness fractions are sane.
+            assert 0.0 <= sum(c.bound) <= 1.0 + 1e-9, (ds, scheme)
+            assert c.loads > 0
+
+    # Ordering should correlate with average memory latency: on most
+    # graphs the Grappolo ordering's latency is no worse than Degree
+    # Sort's (paper: "It also typically has the lowest memory latency").
+    better = sum(
+        1
+        for per_scheme in reports.values()
+        if per_scheme["grappolo"].counters.average_latency
+        <= per_scheme["degree_sort"].counters.average_latency + 0.5
+    )
+    assert better >= 3

@@ -1,0 +1,24 @@
+"""Figure 1: overview performance profile of the average gap."""
+
+from repro.bench import fig1
+
+
+def test_fig1(run_experiment):
+    result = run_experiment(fig1)
+    auc = result.data["auc"]
+    # The community-aware scheme hugs the Y-axis; random trails everything.
+    assert auc["grappolo"] > auc["gorder"]
+    assert auc["grappolo"] > auc["degree_sort"]
+    assert auc["random"] == min(auc.values())
+    # Paper: Gorder "does not necessarily yield better results than the
+    # natural ordering" on the average gap.
+    assert auc["gorder"] < auc["grappolo"]
+    # The paper's headline: up to ~40x divergence between best and worst
+    # schemes on some inputs.
+    scores = result.data["scores"]
+    worst_factor = max(
+        max(scores[s][ds] for s in scores)
+        / max(min(scores[s][ds] for s in scores), 1e-9)
+        for ds in scores["grappolo"]
+    )
+    assert worst_factor > 10.0

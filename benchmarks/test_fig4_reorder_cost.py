@@ -1,0 +1,19 @@
+"""Figure 4: reordering compute-cost profile on the 9 large inputs."""
+
+from repro.bench import fig4
+
+
+def test_fig4(run_experiment):
+    result = run_experiment(fig4)
+    auc = result.data["auc"]
+    costs = result.data["costs"]
+    # Paper: "Grappolo and METIS (32 partitions) are more expensive than
+    # Degree Sort and RCM".
+    assert auc["degree_sort"] >= auc["metis"]
+    assert auc["degree_sort"] >= auc["grappolo"]
+    assert auc["rcm"] >= auc["grappolo"]
+    # Degree Sort is the cheapest on every input.
+    for ds in costs["degree_sort"]:
+        assert costs["degree_sort"][ds] == min(
+            costs[s][ds] for s in costs
+        )

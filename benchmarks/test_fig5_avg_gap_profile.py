@@ -1,0 +1,25 @@
+"""Figure 5: average-gap performance profile, all schemes, 25 inputs."""
+
+from repro.bench import fig5
+
+TOP_TIER = ("metis", "grappolo", "rabbit", "grappolo_rcm")
+BOTTOM_TIER = ("degree_sort", "slashburn", "random")
+
+
+def test_fig5(run_experiment):
+    result = run_experiment(fig5)
+    auc = result.data["auc"]
+    # Tier structure (paper observation 1): partition/community schemes on
+    # top, then RCM, degree/hub-based at the bottom.
+    for top in TOP_TIER:
+        for bottom in BOTTOM_TIER:
+            assert auc[top] > auc[bottom], (top, bottom)
+    for top in TOP_TIER:
+        assert auc[top] >= auc["rcm"] - 0.05, top
+    # RCM is competitive (second tier, clearly above the bottom tier).
+    for bottom in BOTTOM_TIER:
+        assert auc["rcm"] > auc[bottom]
+    # Gorder and SlashBurn do not beat natural/random respectively on this
+    # measure (paper's "notably" remark).
+    assert auc["gorder"] <= auc["natural"] + 0.1
+    assert auc["slashburn"] <= auc["random"] + 0.15

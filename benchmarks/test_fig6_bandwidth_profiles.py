@@ -1,0 +1,38 @@
+"""Figure 6: graph-bandwidth (left) and average-bandwidth (right) profiles."""
+
+from repro.bench import fig6a, fig6b
+
+
+def test_fig6a_rcm_dominates_bandwidth(run_experiment):
+    result = run_experiment(fig6a)
+    auc = result.data["auc"]
+    # Paper observation 2: RCM clearly outperforms all other schemes in
+    # minimizing the graph bandwidth.
+    assert max(auc, key=auc.get) == "rcm"
+    scores = result.data["scores"]
+    rcm_wins = sum(
+        1
+        for ds in scores["rcm"]
+        if scores["rcm"][ds] <= min(scores[s][ds] for s in scores) * 1.001
+    )
+    assert rcm_wins >= len(scores["rcm"]) * 0.6
+
+
+def test_fig6b_no_clear_winner(run_experiment):
+    result = run_experiment(fig6b)
+    auc = result.data["auc"]
+    # Paper observation 3: "there is no clear winner ... most schemes
+    # yield comparable results for most inputs".  Two proxies: a broad
+    # band of schemes near the top, and no scheme winning most inputs.
+    ranked = sorted(auc.values(), reverse=True)
+    assert ranked[4] > 0.9 * ranked[0]
+    scores = result.data["scores"]
+    datasets = list(next(iter(scores.values())))
+    for scheme in scores:
+        wins = sum(
+            1 for ds in datasets
+            if scores[scheme][ds] <= min(
+                scores[s][ds] for s in scores
+            ) * 1.001
+        )
+        assert wins < 0.75 * len(datasets), scheme

@@ -1,0 +1,31 @@
+"""Figure 8: gap-distribution characterisation on three contrasting inputs."""
+
+from repro.bench import fig8
+
+
+def test_fig8(run_experiment):
+    result = run_experiment(fig8)
+    data = result.data
+    assert set(data) == {"chicago_road", "fe_4elt2", "vsp"}
+    # Paper: large best-vs-worst factors on the structured inputs
+    # (41x / 39x at paper scale), and a much smaller one on vsp, whose
+    # unstructured topology gains little from any reordering.
+    assert data["chicago_road"]["divergence_factor"] > 10.0
+    assert data["fe_4elt2"]["divergence_factor"] > 10.0
+    assert (
+        data["vsp"]["divergence_factor"]
+        < data["chicago_road"]["divergence_factor"]
+    )
+    assert (
+        data["vsp"]["divergence_factor"]
+        < data["fe_4elt2"]["divergence_factor"]
+    )
+    # Distribution reading: for chicago, the best scheme concentrates gaps
+    # at the small end (most gaps below 10) unlike the worst scheme.
+    by_scheme = data["chicago_road"]["avg_gap_by_scheme"]
+    dists = data["chicago_road"]["distributions"]
+    best = min(by_scheme, key=by_scheme.get)
+    worst = max(by_scheme, key=by_scheme.get)
+    assert dists[best].fraction_below(10.0) > dists[worst].fraction_below(
+        10.0
+    )

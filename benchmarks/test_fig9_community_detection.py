@@ -1,0 +1,55 @@
+"""Figure 9: ordering impact on community detection (heat-map table)."""
+
+import numpy as np
+
+from repro.bench import fig9
+from repro.datasets import large_set
+
+
+def test_fig9(run_experiment):
+    result = run_experiment(fig9)
+    reports = result.data["reports"]
+    assert set(reports) == set(large_set())
+
+    grappolo_wins = 0
+    modularity_spreads = []
+    for ds, per_scheme in reports.items():
+        iter_times = {
+            s: r.iteration_seconds for s, r in per_scheme.items()
+        }
+        # Paper: Grappolo usually beats Degree Sort on iteration time.
+        if iter_times["grappolo"] <= iter_times["degree_sort"]:
+            grappolo_wins += 1
+        qs = [r.modularity for r in per_scheme.values()]
+        modularity_spreads.append(max(qs) - min(qs))
+    assert grappolo_wins >= len(reports) * 0.7
+
+    # Paper: "the modularity spread is usually small" — ordering does not
+    # change output quality.
+    assert float(np.median(modularity_spreads)) < 0.05
+
+    # Paper: Grappolo ordering usually has the highest parallel efficiency
+    # (Work%); Degree Sort the lowest on skewed inputs.
+    work_best = sum(
+        1
+        for per_scheme in reports.values()
+        if per_scheme["grappolo"].work_fraction
+        >= per_scheme["degree_sort"].work_fraction
+    )
+    assert work_best >= len(reports) * 0.7
+
+
+def test_fig9_serial_less_divergent(run_experiment):
+    """Section VI-B: the ordering divide shrinks in serial execution."""
+    datasets = ("livejournal", "youtube")
+    parallel = fig9(datasets=datasets, num_threads=8)
+    serial = run_experiment(fig9, datasets=datasets, num_threads=1)
+    for ds in datasets:
+        par = parallel.data["reports"][ds]
+        ser = serial.data["reports"][ds]
+
+        def spread(reports):
+            times = [r.iteration_seconds for r in reports.values()]
+            return max(times) / min(times)
+
+        assert spread(ser) <= spread(par) + 0.05, ds

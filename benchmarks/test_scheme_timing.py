@@ -1,0 +1,45 @@
+"""Wall-clock timing of the ordering schemes (pytest-benchmark native).
+
+Unlike the figure benchmarks (single deterministic runs of whole
+experiments), these time each scheme's ``order()`` call with
+pytest-benchmark's statistics on one mid-size surrogate — useful for
+tracking implementation regressions.  Figure 4's *relative* cost
+comparison uses operation counts and is unaffected by these numbers.
+"""
+
+import pytest
+
+from repro.datasets import load
+from repro.ordering import get_scheme
+
+DATASET = "hamster_small"
+
+FAST_SCHEMES = (
+    "natural", "random", "degree_sort", "hub_sort", "hub_cluster",
+    "dbg", "bfs", "dfs", "cdfs", "rcm",
+)
+HEAVY_SCHEMES = (
+    "slashburn", "gorder", "rabbit", "grappolo", "grappolo_rcm",
+    "metis", "nested_dissection", "minla_multilevel", "hybrid",
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load(DATASET)
+
+
+@pytest.mark.parametrize("scheme_name", FAST_SCHEMES)
+def test_fast_scheme_timing(benchmark, graph, scheme_name):
+    scheme = get_scheme(scheme_name)
+    ordering = benchmark(scheme.order, graph)
+    assert ordering.num_vertices == graph.num_vertices
+
+
+@pytest.mark.parametrize("scheme_name", HEAVY_SCHEMES)
+def test_heavy_scheme_timing(benchmark, graph, scheme_name):
+    scheme = get_scheme(scheme_name)
+    ordering = benchmark.pedantic(
+        scheme.order, args=(graph,), rounds=1, iterations=1
+    )
+    assert ordering.num_vertices == graph.num_vertices

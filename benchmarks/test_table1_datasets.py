@@ -1,0 +1,21 @@
+"""Table I: the 34 input surrogates and their summary statistics."""
+
+from repro.bench import table1
+from repro.datasets import LARGE_SET, SMALL_SET
+
+
+def test_table1(run_experiment):
+    result = run_experiment(table1)
+    data = result.data
+    assert len(data) == 34
+    assert len(SMALL_SET) == 25 and len(LARGE_SET) == 9
+    for name, stats in data.items():
+        assert stats["n"] > 0, name
+        assert stats["m"] > 0, name
+        assert stats["max_degree"] >= 1, name
+    # Family shape checks mirroring Table I's qualitative reading:
+    # meshes have tiny degree variance, hubs/web have large.
+    assert data["cs4"]["std_degree"] < 1.0
+    assert data["fe_4elt2"]["std_degree"] < 1.0
+    assert data["facebook_nips"]["std_degree"] > 5.0
+    assert data["google_plus"]["max_degree"] > 100

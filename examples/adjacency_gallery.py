@@ -1,0 +1,44 @@
+"""Spy-plot gallery: what each ordering does to the adjacency matrix.
+
+Renders ASCII spy plots of the same graph under five orderings — the
+visual intuition behind the whole study: RCM concentrates non-zeros along
+the diagonal, SlashBurn forms the hub "arrow", community orderings
+produce diagonal blocks, and a random order smears everything.
+
+Run with::
+
+    python examples/adjacency_gallery.py [dataset]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import load
+from repro.measures import average_gap
+from repro.measures.spy import ascii_spy, diagonal_mass
+from repro.ordering import get_scheme
+
+SCHEMES = ("natural", "random", "rcm", "slashburn", "grappolo")
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "hamster_small"
+    graph = load(dataset)
+    print(f"dataset: {dataset} (n={graph.num_vertices}, "
+          f"m={graph.num_edges})\n")
+    for name in SCHEMES:
+        ordering = get_scheme(name).order(graph)
+        pi = ordering.permutation
+        mass = diagonal_mass(graph, pi)
+        gap = average_gap(graph, pi)
+        print(ascii_spy(
+            graph, pi, size=36,
+            label=(f"--- {name}  (avg gap {gap:.1f}, "
+                   f"{mass * 100:.0f}% of edges near diagonal)"),
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

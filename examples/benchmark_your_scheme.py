@@ -1,0 +1,83 @@
+"""Plug your own reordering scheme into the evaluation harness.
+
+Shows the extension workflow a downstream user would follow: subclass
+``OrderingScheme``, register it, and get every measure, profile, and
+application study of the reproduction for free.  The demo scheme is a
+*spectral-flavoured* ordering: vertices sorted by their score after a few
+rounds of neighbour averaging (a cheap Fiedler-vector approximation).
+
+Run with::
+
+    python examples/benchmark_your_scheme.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.runners import collect_scores
+from repro.bench import format_profile
+from repro.graph import ordering_from_sequence
+from repro.measures import performance_profile
+from repro.ordering import OrderingScheme, register_scheme
+
+
+class PowerIterationOrder(OrderingScheme):
+    """Order by an approximate second eigenvector of the adjacency.
+
+    Power iteration on the neighbour-average operator, deflated against
+    the all-ones vector, sorts vertices along the graph's dominant
+    "direction" — a 30-line spectral sequencing heuristic.
+    """
+
+    name = "power_iteration"
+    category = "gap_based"
+
+    def __init__(self, *, rounds: int = 30, seed: int | None = 0) -> None:
+        super().__init__(seed=seed)
+        self._rounds = rounds
+
+    def compute(self, graph, counter, rng):
+        n = graph.num_vertices
+        if n == 0:
+            return np.arange(0, dtype=np.int64), {}
+        x = rng.standard_normal(n)
+        degrees = np.maximum(graph.degrees(), 1)
+        for _ in range(self._rounds):
+            nxt = np.zeros(n)
+            for v in range(n):
+                nbrs = graph.neighbors(v)
+                if nbrs.size:
+                    nxt[v] = x[nbrs].sum() / degrees[v]
+            counter.count_edges(graph.num_directed_edges)
+            x = nxt - nxt.mean()          # deflate the trivial eigenvector
+            norm = np.linalg.norm(x)
+            if norm > 0:
+                x /= norm
+        sequence = np.argsort(x, kind="stable")
+        counter.count_sort(n)
+        return ordering_from_sequence(sequence), {"rounds": self._rounds}
+
+
+def main() -> None:
+    register_scheme("power_iteration", PowerIterationOrder)
+    contenders = ("power_iteration", "rcm", "grappolo", "natural", "random")
+    datasets = ("us_power_grid", "delaunay_n11", "hamster_small")
+    scores = collect_scores(
+        contenders, datasets, lambda m: m.average_gap
+    )
+    profile = performance_profile(scores)
+    print(format_profile(
+        profile,
+        title="Your scheme vs the built-ins (average gap)",
+    ))
+    print("\nper-input average gaps:")
+    for ds in datasets:
+        cells = "  ".join(
+            f"{s}={scores[s][ds]:.1f}" for s in contenders
+        )
+        print(f"  {ds:<15} {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The hardware substrate in isolation: why reordering changes latency.
+
+Streams three traversal patterns of the same graph through the simulated
+memory hierarchy — natural-order traversal, random-order traversal, and
+traversal after Grappolo reordering — and prints the level-by-level
+breakdown, making the mechanism behind Figures 10 and 12 visible.
+
+Run with::
+
+    python examples/cache_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load
+from repro.graph import apply_ordering
+from repro.ordering import get_scheme
+from repro.simulator import (
+    MemoryHierarchy,
+    csr_layout,
+)
+
+
+def traverse(graph, hierarchy: MemoryHierarchy) -> None:
+    """Replay one full neighbourhood sweep through the hierarchy."""
+    layout = csr_layout(graph.num_vertices, graph.num_directed_edges)
+    indptr, indices = graph.indptr, graph.indices
+    for v in range(graph.num_vertices):
+        hierarchy.access(0, layout.line("indptr", v))
+        for k in range(int(indptr[v]), int(indptr[v + 1])):
+            hierarchy.access(0, layout.line("indices", k))
+            hierarchy.access(0, layout.line("vdata", int(indices[k])))
+
+
+def main() -> None:
+    base = load("us_power_grid")
+    rng = np.random.default_rng(3)
+    variants = {
+        "natural": base,
+        "random": apply_ordering(
+            base, rng.permutation(base.num_vertices).astype(np.int64)
+        ),
+        "rcm": apply_ordering(
+            base, get_scheme("rcm").order(base).permutation
+        ),
+        "grappolo": apply_ordering(
+            base, get_scheme("grappolo").order(base).permutation
+        ),
+    }
+    print(f"graph: us_power_grid (n={base.num_vertices}, "
+          f"m={base.num_edges})\n")
+    print(f"{'layout':<10} {'loads':>8} {'latency':>8} "
+          f"{'L1%':>6} {'L2%':>6} {'L3%':>6} {'DRAM%':>6}")
+    for name, graph in variants.items():
+        hierarchy = MemoryHierarchy(num_threads=1)
+        traverse(graph, hierarchy)
+        c = hierarchy.merged_counters()
+        shares = [
+            loads / max(1, c.loads) * 100 for loads in c.level_loads
+        ]
+        print(f"{name:<10} {c.loads:>8d} {c.average_latency:>8.2f} "
+              f"{shares[0]:>6.1f} {shares[1]:>6.1f} "
+              f"{shares[2]:>6.1f} {shares[3]:>6.1f}")
+    print("\nA community-aware ordering turns DRAM traffic into cache "
+          "hits; a random\nordering does the opposite — the entire "
+          "mechanism of the paper in one table.")
+
+
+if __name__ == "__main__":
+    main()

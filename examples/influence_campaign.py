@@ -1,0 +1,51 @@
+"""Influence maximization scenario: seeding a viral campaign (Figure 11).
+
+Uses the IMM implementation to pick seed users on a social-network
+surrogate under the Independent Cascade model, then shows how the vertex
+ordering of the underlying graph affects sampling throughput — the paper's
+finding is that the effect is *marginal* for this BFS-heavy workload.
+
+Run with::
+
+    python examples/influence_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import run_influence_maximization
+from repro.datasets import load
+from repro.ordering import get_scheme
+
+DATASET = "youtube"
+SCHEMES = ("natural", "grappolo", "rcm", "degree_sort")
+
+
+def main() -> None:
+    graph = load(DATASET)
+    print(f"campaign network: {DATASET} "
+          f"(n={graph.num_vertices}, m={graph.num_edges})")
+    print("selecting 16 seeds under IC(p=0.25), 4 sampling threads\n")
+    print(f"{'ordering':<12} {'samples':>8} {'throughput':>12} "
+          f"{'total_ms':>9} {'spread':>8}")
+    throughputs: dict[str, float] = {}
+    best_seeds: tuple[int, ...] = ()
+    for name in SCHEMES:
+        ordering = get_scheme(name).order(graph)
+        r = run_influence_maximization(
+            graph, ordering, k=16, probability=0.25,
+            num_threads=4, max_samples=1200,
+        )
+        throughputs[name] = r.sampling_throughput
+        if name == "natural":
+            best_seeds = r.seeds
+        print(f"{name:<12} {r.num_samples:>8d} "
+              f"{r.sampling_throughput / 1e3:>10.1f}k/s "
+              f"{r.total_seconds * 1e3:>9.3f} {r.estimated_spread:>8.1f}")
+    spread = max(throughputs.values()) / min(throughputs.values())
+    print(f"\nthroughput spread across orderings: {spread:.2f}x "
+          "(marginal, as the paper reports)")
+    print(f"campaign seeds (natural order ids): {best_seeds[:8]}...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Prototypical kernels under different orderings (prior-work replication).
+
+The studies the paper builds on (Balaji & Lucia 2018; Faldu et al. 2019)
+evaluated reordering on PageRank, SSSP and similar kernels.  This example
+runs that suite on the simulator for one modular and one road-network
+surrogate, showing where lightweight and heavyweight orderings pay off.
+
+Run with::
+
+    python examples/kernel_study.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import run_kernel_study
+from repro.datasets import load
+from repro.measures import packing_factor
+from repro.ordering import get_scheme
+
+DATASETS = ("livejournal", "ca_roadnet")
+SCHEMES = ("natural", "degree_sort", "hub_cluster", "rcm", "grappolo")
+KERNELS = ("pagerank", "bfs", "sssp")
+
+
+def main() -> None:
+    for dataset in DATASETS:
+        graph = load(dataset)
+        print(f"\n{dataset} (n={graph.num_vertices}, m={graph.num_edges})")
+        header = f"{'scheme':<12} {'packing':>8}"
+        for kernel in KERNELS:
+            header += f" {kernel + '_lat':>13}"
+        print(header)
+        for name in SCHEMES:
+            ordering = get_scheme(name).order(graph)
+            pf = packing_factor(graph, ordering.permutation)
+            reports = run_kernel_study(
+                graph, ordering, KERNELS, num_threads=4
+            )
+            row = f"{name:<12} {pf:>8.2f}"
+            for kernel in KERNELS:
+                lat = reports[kernel].counters.average_latency
+                row += f" {lat:>13.1f}"
+            print(row)
+    print(
+        "\nLower packing factor and latency are better. Community-aware "
+        "orderings win\non the modular graph; the road network's natural "
+        "(grid) order is already good."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Compare all eleven schemes across a set of inputs (mini Figure 5).
+
+Builds a performance profile of the average linear arrangement gap over a
+few representative surrogates — one per structural family — and prints the
+tabulated curves, ranked like the paper's Figure 5.
+
+Run with::
+
+    python examples/ordering_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_profile
+from repro.bench.runners import collect_scores
+from repro.measures import performance_profile
+from repro.ordering import PAPER_SCHEMES
+
+DATASETS = (
+    "chicago_road",    # road network
+    "delaunay_n11",    # mesh
+    "hamster_small",   # modular social
+    "figeys",          # preferential attachment
+    "vsp",             # unstructured control
+)
+
+
+def main() -> None:
+    scores = collect_scores(
+        PAPER_SCHEMES, DATASETS, lambda m: m.average_gap
+    )
+    profile = performance_profile(scores)
+    print(format_profile(
+        profile,
+        title="Average-gap performance profile (5 representative inputs)",
+    ))
+    print()
+    print("per-input average gaps (lower is better):")
+    for ds in DATASETS:
+        ranked = sorted(PAPER_SCHEMES, key=lambda s: scores[s][ds])
+        best, worst = ranked[0], ranked[-1]
+        factor = scores[worst][ds] / max(scores[best][ds], 1e-9)
+        print(f"  {ds:<15} best={best:<14} worst={worst:<12} "
+              f"spread={factor:5.1f}x")
+
+
+if __name__ == "__main__":
+    main()

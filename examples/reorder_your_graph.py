@@ -1,0 +1,79 @@
+"""Reorder your own graph file for locality.
+
+End-to-end pipeline a downstream user would run: read an edge list (or
+METIS / MatrixMarket file), pick the best scheme for the target measure by
+trying several, write the reordered graph plus the permutation back out.
+
+Run with::
+
+    python examples/reorder_your_graph.py [edge_list_file]
+
+Without an argument a demo edge list is generated in a temp directory.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph import apply_ordering
+from repro.graph.generators import watts_strogatz
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.measures import average_gap
+from repro.ordering import get_scheme
+
+CANDIDATES = ("rcm", "grappolo", "metis", "rabbit")
+
+
+def demo_file(directory: Path) -> Path:
+    """Write a demo edge list whose labels carry no locality.
+
+    A small-world lattice is generated and then randomly relabelled, so
+    the demo input genuinely benefits from reordering (like a graph dumped
+    from a hash-keyed database would).
+    """
+    graph = watts_strogatz(600, 6, 0.1, seed=11)
+    rng = np.random.default_rng(12)
+    graph = apply_ordering(
+        graph, rng.permutation(graph.num_vertices).astype(np.int64)
+    )
+    path = directory / "demo_graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="reorder_"))
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else demo_file(workdir)
+    graph = read_edge_list(path)
+    print(f"input: {path} (n={graph.num_vertices}, m={graph.num_edges})")
+    baseline = average_gap(graph)
+    print(f"natural-order average gap: {baseline:.2f}\n")
+
+    best_name, best_ordering, best_gap = None, None, float("inf")
+    for name in CANDIDATES:
+        ordering = get_scheme(name).order(graph)
+        gap = average_gap(graph, ordering.permutation)
+        marker = ""
+        if gap < best_gap:
+            best_name, best_ordering, best_gap = name, ordering, gap
+            marker = "  <- best so far"
+        print(f"  {name:<10} avg gap {gap:8.2f}{marker}")
+
+    assert best_ordering is not None
+    reordered = apply_ordering(graph, best_ordering.permutation)
+    out_graph = workdir / "reordered_graph.txt"
+    out_perm = workdir / "permutation.txt"
+    write_edge_list(reordered, out_graph)
+    np.savetxt(out_perm, best_ordering.permutation, fmt="%d")
+    print(f"\nchose {best_name}: average gap {baseline:.2f} -> "
+          f"{best_gap:.2f} ({baseline / max(best_gap, 1e-9):.1f}x better)")
+    print(f"reordered graph: {out_graph}")
+    print(f"permutation (old id -> new rank): {out_perm}")
+
+
+if __name__ == "__main__":
+    main()

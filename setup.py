@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (which need ``bdist_wheel``) fail.  This shim
+lets ``pip install -e . --no-build-isolation`` (and ``python setup.py
+develop``) work through the legacy setuptools path.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

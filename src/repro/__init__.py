@@ -1,0 +1,47 @@
+"""repro — reproduction of "Vertex Reordering for Real-World Graphs and
+Applications: An Empirical Evaluation" (IISWC 2020).
+
+The package provides:
+
+* :mod:`repro.graph` — CSR graph substrate, generators, I/O;
+* :mod:`repro.datasets` — surrogates for the paper's 34 inputs;
+* :mod:`repro.measures` — linear-arrangement gap measures and performance
+  profiles (Section II-A);
+* :mod:`repro.ordering` — the 11 reordering schemes (Section III);
+* :mod:`repro.partition` — the multilevel partitioner (METIS substitute);
+* :mod:`repro.community` — Louvain community detection (Grappolo
+  substitute);
+* :mod:`repro.simulator` — trace-driven multi-level cache and parallel
+  execution simulator (the testbed/VTune substitute);
+* :mod:`repro.apps` — the two applications: community detection and
+  influence maximization (Section VI);
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure.
+
+Quickstart::
+
+    from repro.datasets import load
+    from repro.ordering import get_scheme
+    from repro.measures import gap_measures
+
+    graph = load("chicago_road")
+    ordering = get_scheme("rcm").order(graph)
+    print(gap_measures(graph, ordering.permutation))
+"""
+
+__version__ = "1.0.0"
+
+from .graph import CSRGraph, from_edges
+from .measures import gap_measures
+from .ordering import Ordering, OrderingScheme, available_schemes, get_scheme
+
+__all__ = [
+    "__version__",
+    "CSRGraph",
+    "from_edges",
+    "gap_measures",
+    "Ordering",
+    "OrderingScheme",
+    "get_scheme",
+    "available_schemes",
+]

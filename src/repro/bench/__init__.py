@@ -1,0 +1,65 @@
+"""Experiment harness: runners, reporting, and per-figure entry points."""
+
+from .ablations import ABLATIONS
+from .extensions import EXTENSIONS
+from .experiments import (
+    ALL_EXPERIMENTS,
+    FIG9_SCHEMES,
+    FIG11_SCHEMES,
+    ExperimentResult,
+    fig1,
+    fig4,
+    fig5,
+    fig6a,
+    fig6b,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+)
+from .report import (
+    PROFILE_TAUS,
+    format_heat_row,
+    format_profile,
+    format_table,
+    write_csv,
+)
+from .runners import (
+    collect_costs,
+    collect_scores,
+    measures_for,
+    ordering_for,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "ABLATIONS",
+    "EXTENSIONS",
+    "FIG9_SCHEMES",
+    "FIG11_SCHEMES",
+    "table1",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "format_table",
+    "format_profile",
+    "format_heat_row",
+    "write_csv",
+    "PROFILE_TAUS",
+    "ordering_for",
+    "measures_for",
+    "collect_scores",
+    "collect_costs",
+]

@@ -1,0 +1,60 @@
+"""Command-line experiment runner: ``python -m repro.bench [ids...]``.
+
+With no ids every paper artifact runs in order.  Experiment ids match the
+paper's artifact names (``table1 fig1 fig4 fig5 fig6a fig6b fig7 fig8
+fig9 fig10 fig11 fig12``) plus the ``ablation_*`` and ``ext_*`` studies.
+``--output DIR`` additionally saves each result as ``<id>.txt`` and
+``<id>.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .ablations import ABLATIONS
+from .experiments import ALL_EXPERIMENTS
+from .extensions import EXTENSIONS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments, printing each reproduction."""
+    registry = {**ALL_EXPERIMENTS, **ABLATIONS, **EXTENSIONS}
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids", nargs="*", metavar="EXPERIMENT",
+        help=f"experiment ids (default: all paper artifacts); "
+             f"available: {', '.join(registry)}",
+    )
+    parser.add_argument(
+        "--output", metavar="DIR", default=None,
+        help="also save each result as <id>.txt and <id>.json here",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.ids or list(ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i not in registry]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {list(registry)}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = registry[experiment_id]()
+        elapsed = time.perf_counter() - start
+        print(f"== {result.experiment_id}: {result.title} "
+              f"({elapsed:.1f}s) ==")
+        print(result.text)
+        if args.output:
+            text_path, json_path = result.save(args.output)
+            print(f"[saved {text_path}, {json_path}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Shared machinery for running schemes over datasets with caching.
+
+Computing an ordering can be expensive (Gorder, METIS, ND on the larger
+surrogates), and several experiments need the same (scheme, dataset)
+ordering.  The runner memoises orderings per process so Figures 1, 5, 6a,
+6b and 8 share the work.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..datasets.registry import load
+from ..graph.csr import CSRGraph
+from ..measures.gaps import GapMeasures, gap_measures
+from ..ordering.base import Ordering, get_scheme
+
+__all__ = [
+    "ordering_for",
+    "measures_for",
+    "collect_scores",
+    "collect_costs",
+]
+
+
+@lru_cache(maxsize=None)
+def ordering_for(scheme: str, dataset: str) -> Ordering:
+    """The (memoised) ordering of ``scheme`` on ``dataset``."""
+    graph = load(dataset)
+    return get_scheme(scheme).order(graph)
+
+
+@lru_cache(maxsize=None)
+def measures_for(scheme: str, dataset: str) -> GapMeasures:
+    """The (memoised) gap measures of ``scheme`` on ``dataset``."""
+    graph = load(dataset)
+    ordering = ordering_for(scheme, dataset)
+    return gap_measures(graph, ordering.permutation)
+
+
+def collect_scores(
+    schemes: Iterable[str],
+    datasets: Iterable[str],
+    metric: Callable[[GapMeasures], float],
+) -> dict[str, dict[str, float]]:
+    """``scores[scheme][dataset]`` for a gap metric (profile input)."""
+    datasets = list(datasets)
+    return {
+        scheme: {
+            ds: float(metric(measures_for(scheme, ds))) for ds in datasets
+        }
+        for scheme in schemes
+    }
+
+
+def collect_costs(
+    schemes: Iterable[str],
+    datasets: Iterable[str],
+) -> dict[str, dict[str, float]]:
+    """``costs[scheme][dataset]``: reordering operation counts (Fig. 4)."""
+    datasets = list(datasets)
+    return {
+        scheme: {
+            ds: float(max(1, ordering_for(scheme, ds).cost))
+            for ds in datasets
+        }
+        for scheme in schemes
+    }
+
+
+def relabelled_graph(scheme: str, dataset: str) -> CSRGraph:
+    """The dataset graph relabelled under a scheme's ordering."""
+    graph = load(dataset)
+    return ordering_for(scheme, dataset).apply(graph)
+
+
+def permutation_for(scheme: str, dataset: str) -> np.ndarray:
+    """Just the permutation array of a memoised ordering."""
+    return ordering_for(scheme, dataset).permutation

@@ -1,0 +1,76 @@
+"""Distance-1 graph coloring (Grappolo's parallelisation device).
+
+Grappolo (Lu et al. 2015) makes Louvain sweeps parallel-safe by colouring
+the graph and processing one colour class at a time: vertices of the same
+colour share no edge, so their community moves cannot race.  We provide
+the standard greedy first-fit colouring (with largest-degree-first as an
+option) and a helper that turns a colouring into the per-round vertex
+batches a parallel sweep would use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "greedy_coloring",
+    "is_valid_coloring",
+    "color_classes",
+]
+
+
+def greedy_coloring(
+    graph: CSRGraph,
+    *,
+    largest_degree_first: bool = True,
+) -> np.ndarray:
+    """First-fit greedy colouring; returns a colour per vertex.
+
+    With ``largest_degree_first`` (Welsh–Powell order) the colour count is
+    usually close to ``max_degree + 1`` worst case but far smaller in
+    practice.
+    """
+    n = graph.num_vertices
+    colors = np.full(n, -1, dtype=np.int64)
+    if largest_degree_first:
+        order = np.argsort(-graph.degrees(), kind="stable")
+    else:
+        order = np.arange(n, dtype=np.int64)
+    for v in order:
+        v = int(v)
+        used = {int(colors[u]) for u in graph.neighbors(v)
+                if colors[u] != -1}
+        color = 0
+        while color in used:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def is_valid_coloring(graph: CSRGraph, colors: np.ndarray) -> bool:
+    """Whether no edge connects two vertices of the same colour."""
+    colors = np.asarray(colors)
+    if colors.size != graph.num_vertices:
+        return False
+    if colors.size and colors.min() < 0:
+        return False
+    for u, v in graph.edges():
+        if colors[u] == colors[v]:
+            return False
+    return True
+
+
+def color_classes(colors: np.ndarray) -> list[np.ndarray]:
+    """Vertex batches per colour, ascending colour id.
+
+    Each batch can be swept concurrently in a parallel Louvain iteration.
+    """
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.size == 0:
+        return []
+    num_colors = int(colors.max()) + 1
+    return [
+        np.flatnonzero(colors == c) for c in range(num_colors)
+    ]

@@ -1,0 +1,24 @@
+"""Dataset surrogates for the paper's 34 inputs (Table I)."""
+
+from .catalog import CATALOG, LARGE_SET, SMALL_SET, DatasetSpec
+from .registry import (
+    dataset_names,
+    large_set,
+    load,
+    load_many,
+    small_set,
+    spec,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "CATALOG",
+    "SMALL_SET",
+    "LARGE_SET",
+    "load",
+    "load_many",
+    "spec",
+    "dataset_names",
+    "small_set",
+    "large_set",
+]

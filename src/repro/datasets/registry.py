@@ -1,0 +1,58 @@
+"""Building and caching dataset surrogates.
+
+Surrogate construction is deterministic but not free (Delaunay, planted
+partitions), so built graphs are memoised per process.  Tests and
+benchmarks go through :func:`load` / :func:`load_many`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..graph.csr import CSRGraph
+from .catalog import CATALOG, LARGE_SET, SMALL_SET, DatasetSpec
+
+__all__ = [
+    "load",
+    "load_many",
+    "spec",
+    "dataset_names",
+    "small_set",
+    "large_set",
+]
+
+
+def spec(name: str) -> DatasetSpec:
+    """The catalog entry for ``name`` (raises ``KeyError`` if unknown)."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(CATALOG)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def load(name: str) -> CSRGraph:
+    """Build (or fetch from cache) the surrogate graph for ``name``."""
+    return spec(name).build()
+
+
+def load_many(names: tuple[str, ...] | list[str]) -> dict[str, CSRGraph]:
+    """Load several datasets, keyed by name."""
+    return {name: load(name) for name in names}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """All 34 dataset names, small set first (Table I order)."""
+    return SMALL_SET + LARGE_SET
+
+
+def small_set() -> tuple[str, ...]:
+    """The 25 qualitative-study dataset names."""
+    return SMALL_SET
+
+
+def large_set() -> tuple[str, ...]:
+    """The 9 application-study dataset names."""
+    return LARGE_SET

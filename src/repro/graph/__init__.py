@@ -1,0 +1,52 @@
+"""Graph substrate: CSR structure, builders, generators, I/O, statistics."""
+
+from .builder import GraphBuilder, empty_graph, from_edges
+from .csr import CSRGraph
+from .permute import (
+    apply_ordering,
+    compose_orderings,
+    identity_ordering,
+    invert_ordering,
+    is_valid_ordering,
+    ordering_from_sequence,
+    validate_ordering,
+)
+from .subgraph import SubgraphView, induced_subgraph
+from .properties import (
+    DegreeStatistics,
+    GraphSummary,
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    count_triangles,
+    degree_statistics,
+    global_clustering_coefficient,
+    graph_summary,
+    largest_component_vertices,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "empty_graph",
+    "from_edges",
+    "identity_ordering",
+    "is_valid_ordering",
+    "validate_ordering",
+    "invert_ordering",
+    "compose_orderings",
+    "apply_ordering",
+    "ordering_from_sequence",
+    "DegreeStatistics",
+    "GraphSummary",
+    "degree_statistics",
+    "connected_components",
+    "largest_component_vertices",
+    "bfs_order",
+    "bfs_distances",
+    "count_triangles",
+    "global_clustering_coefficient",
+    "graph_summary",
+    "SubgraphView",
+    "induced_subgraph",
+]

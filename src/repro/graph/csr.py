@@ -1,0 +1,204 @@
+"""Compressed sparse row (CSR) graph representation.
+
+The CSR layout is the canonical in-memory structure used throughout the
+reproduction: every ordering scheme consumes a :class:`CSRGraph` and every
+application kernel traverses one.  The layout mirrors what Grappolo, Gorder,
+and Rabbit-Order use internally (an ``indptr`` offsets array plus a flat
+``indices`` adjacency array), which is exactly the structure whose locality
+vertex reordering is meant to improve.
+
+Vertices are identified by integers in ``[0, num_vertices)``.  The paper uses
+1-based identifiers; the shift is immaterial for every gap measure because
+gaps are differences of ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable undirected graph in compressed sparse row form.
+
+    Parameters
+    ----------
+    indptr:
+        Integer array of length ``num_vertices + 1``; the neighbours of
+        vertex ``v`` are ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        Flat adjacency array.  For an undirected graph every edge ``{u, v}``
+        appears twice: once in ``u``'s list and once in ``v``'s.
+    weights:
+        Optional per-direction edge weights, aligned with ``indices``.
+        ``None`` means the graph is unweighted (all weights treated as 1.0).
+
+    Notes
+    -----
+    The constructor performs structural validation but does **not** check
+    symmetry (that is the job of :class:`repro.graph.builder.GraphBuilder`,
+    which is the supported way to create graphs from edge lists).
+    """
+
+    __slots__ = ("_indptr", "_indices", "_weights")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if indptr[-1] != indices.size:
+            raise ValueError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) "
+                f"({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        num_vertices = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+            raise ValueError("indices contain out-of-range vertex ids")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != indices.shape:
+                raise ValueError("weights must align with indices")
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        """The CSR offsets array (read-only view)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The flat adjacency array (read-only view)."""
+        return self._indices
+
+    @property
+    def weights(self) -> np.ndarray | None:
+        """Per-direction edge weights, or ``None`` for unweighted graphs."""
+        return self._weights
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether explicit edge weights are stored."""
+        return self._weights is not None
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (each stored twice in CSR)."""
+        return self._indices.size // 2
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored adjacency entries (``2 m`` for undirected)."""
+        return self._indices.size
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees."""
+        return np.diff(self._indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbours of vertex ``v`` as an array view."""
+        return self._indices[self._indptr[v]: self._indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights of the edges incident to ``v`` (ones if unweighted)."""
+        if self._weights is None:
+            return np.ones(self.degree(v), dtype=np.float64)
+        return self._weights[self._indptr[v]: self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        nbrs = self.neighbors(u)
+        # Neighbour lists are kept sorted by the builder; fall back to a
+        # linear scan if a caller constructed an unsorted graph directly.
+        pos = np.searchsorted(nbrs, v)
+        if pos < nbrs.size and nbrs[pos] == v:
+            return True
+        return bool(np.any(nbrs == v))
+
+    def total_weight(self) -> float:
+        """Sum of undirected edge weights (``m`` for unweighted graphs)."""
+        if self._weights is None:
+            return float(self.num_edges)
+        return float(self._weights.sum()) / 2.0
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges as ``(u, v)`` with ``u <= v``.
+
+        Self-loops (if any survived construction) are yielded once.
+        """
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u <= v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array with ``u <= v`` rows."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        mask = src <= self._indices
+        return np.column_stack((src[mask], self._indices[mask]))
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __iter__(self) -> Iterable[int]:
+        return iter(range(self.num_vertices))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, {kind})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if not np.array_equal(self._indptr, other._indptr):
+            return False
+        if not np.array_equal(self._indices, other._indices):
+            return False
+        if (self._weights is None) != (other._weights is None):
+            return False
+        if self._weights is not None:
+            return bool(np.allclose(self._weights, other._weights))
+        return True
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.num_vertices, self.num_directed_edges,
+             self._indices[:16].tobytes())
+        )

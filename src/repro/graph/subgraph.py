@@ -1,0 +1,74 @@
+"""Induced subgraphs and related vertex-subset operations.
+
+Used by nested dissection (recursing into separator halves), the
+recursive k-way partitioner, and SlashBurn-style analyses.  Local vertex
+ids follow the order of the ``vertices`` argument, and the mapping back to
+global ids is returned alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import GraphBuilder
+from .csr import CSRGraph
+
+__all__ = ["induced_subgraph", "SubgraphView"]
+
+
+class SubgraphView:
+    """An induced subgraph plus its local-to-global vertex mapping."""
+
+    __slots__ = ("graph", "global_ids")
+
+    def __init__(self, graph: CSRGraph, global_ids: np.ndarray) -> None:
+        self.graph = graph
+        self.global_ids = global_ids
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map local vertex ids back to ids of the parent graph."""
+        return self.global_ids[np.asarray(local_ids, dtype=np.int64)]
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the subgraph."""
+        return self.graph.num_vertices
+
+
+def induced_subgraph(
+    graph: CSRGraph,
+    vertices: np.ndarray,
+    *,
+    keep_weights: bool = True,
+) -> SubgraphView:
+    """The subgraph induced by ``vertices`` (local ids in input order).
+
+    Parameters
+    ----------
+    vertices:
+        Global vertex ids; must be distinct.
+    keep_weights:
+        Carry edge weights into the subgraph when the parent is weighted.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    local_of: dict[int, int] = {}
+    for i, v in enumerate(vertices):
+        v = int(v)
+        if v in local_of:
+            raise ValueError(f"duplicate vertex id {v}")
+        local_of[v] = i
+    builder = GraphBuilder(vertices.size)
+    weighted = keep_weights and graph.is_weighted
+    for i, v in enumerate(vertices):
+        v = int(v)
+        nbrs = graph.neighbors(v)
+        wts = graph.neighbor_weights(v) if weighted else None
+        for idx, u in enumerate(nbrs):
+            j = local_of.get(int(u))
+            if j is not None and j > i:
+                if weighted:
+                    builder.add_edge(i, j, float(wts[idx]))
+                else:
+                    builder.add_edge(i, j)
+    sub = builder.build(weighted=weighted)
+    return SubgraphView(sub, vertices.copy())

@@ -1,0 +1,73 @@
+"""Gap measures, gap distributions, and performance profiles (Section II-A)."""
+
+from .distribution import (
+    GapDistribution,
+    ascii_violin,
+    distribution_divergence_factor,
+    gap_distribution,
+    log_histogram,
+)
+from .gaps import (
+    GapMeasures,
+    average_bandwidth,
+    average_gap,
+    edge_gaps,
+    gap_measures,
+    graph_bandwidth,
+    log_gap_cost,
+    vertex_bandwidths,
+)
+from .correlation import (
+    CorrelationResult,
+    correlate_metrics,
+    pearson,
+    spearman,
+)
+from .locality import (
+    LocalityProfile,
+    locality_profile,
+    miss_rate_curve,
+    packing_factor,
+    reuse_distances,
+    vertex_line_fragmentation,
+    working_set_sizes,
+)
+from .spy import ascii_spy as spy_plot, diagonal_mass, spy_density
+from .profiles import (
+    PerformanceProfile,
+    performance_profile,
+    profile_dominance_score,
+)
+
+__all__ = [
+    "edge_gaps",
+    "average_gap",
+    "vertex_bandwidths",
+    "graph_bandwidth",
+    "average_bandwidth",
+    "log_gap_cost",
+    "GapMeasures",
+    "gap_measures",
+    "GapDistribution",
+    "gap_distribution",
+    "ascii_violin",
+    "log_histogram",
+    "distribution_divergence_factor",
+    "PerformanceProfile",
+    "performance_profile",
+    "profile_dominance_score",
+    "packing_factor",
+    "vertex_line_fragmentation",
+    "reuse_distances",
+    "miss_rate_curve",
+    "working_set_sizes",
+    "LocalityProfile",
+    "locality_profile",
+    "spearman",
+    "pearson",
+    "CorrelationResult",
+    "correlate_metrics",
+    "spy_plot",
+    "spy_density",
+    "diagonal_mass",
+]

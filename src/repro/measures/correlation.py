@@ -1,0 +1,97 @@
+"""Correlating gap statistics with application performance (§VI).
+
+The paper's application study "includ[es] correlations to gap statistics
+where applicable": does a lower average gap actually predict a faster
+iteration, a lower load latency?  This module provides the rank
+correlation machinery and a tidy container for (scheme -> metric) series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "spearman",
+    "pearson",
+    "CorrelationResult",
+    "correlate_metrics",
+]
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean rank), 1-based."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    i = 0
+    while i < values.size:
+        j = i
+        while (
+            j + 1 < values.size
+            and values[order[j + 1]] == values[order[i]]
+        ):
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation; 0.0 when either series is constant."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError("series must have equal length")
+    if x.size < 2:
+        return 0.0
+    sx, sy = x.std(), y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson over average ranks)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError("series must have equal length")
+    if x.size < 2:
+        return 0.0
+    return pearson(_rankdata(x), _rankdata(y))
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Correlation of one predictor series against one response series."""
+
+    predictor: str
+    response: str
+    spearman: float
+    pearson: float
+    num_points: int
+
+
+def correlate_metrics(
+    predictor: dict[str, float],
+    response: dict[str, float],
+    *,
+    predictor_name: str = "predictor",
+    response_name: str = "response",
+) -> CorrelationResult:
+    """Correlate two per-scheme metric dictionaries over shared keys."""
+    keys = sorted(set(predictor) & set(response))
+    if len(keys) < 2:
+        raise ValueError("need at least two shared schemes to correlate")
+    x = np.asarray([predictor[k] for k in keys])
+    y = np.asarray([response[k] for k in keys])
+    return CorrelationResult(
+        predictor=predictor_name,
+        response=response_name,
+        spearman=spearman(x, y),
+        pearson=pearson(x, y),
+        num_points=len(keys),
+    )

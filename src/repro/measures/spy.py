@@ -1,0 +1,112 @@
+"""ASCII spy plots: the adjacency matrix under an ordering.
+
+The classic way to *see* what a reordering does — RCM concentrates
+non-zeros along the diagonal, SlashBurn pushes them into an arrow shape,
+community orderings produce diagonal blocks.  ``ascii_spy`` downsamples
+the n-by-n adjacency matrix into a character grid whose glyph density
+encodes non-zero density per cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.permute import validate_ordering
+
+__all__ = ["spy_density", "ascii_spy", "diagonal_mass"]
+
+#: glyph ramp from empty to dense.
+RAMP = " .:-=+*#%@"
+
+
+def spy_density(
+    graph: CSRGraph,
+    pi: np.ndarray | None = None,
+    *,
+    size: int = 32,
+) -> np.ndarray:
+    """Downsampled non-zero density of the (reordered) adjacency matrix.
+
+    Returns a ``size x size`` float array; cell (i, j) is the fraction of
+    possible entries in that block of the matrix that are edges.  The
+    matrix is symmetric, and both triangles are filled.
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    n = graph.num_vertices
+    counts = np.zeros((size, size), dtype=np.float64)
+    if n == 0:
+        return counts
+    ranks = (
+        np.arange(n, dtype=np.int64) if pi is None
+        else validate_ordering(pi, n)
+    )
+    cell = max(1, int(np.ceil(n / size)))
+    edges = graph.edge_array()
+    if edges.size:
+        ri = np.minimum(ranks[edges[:, 0]] // cell, size - 1)
+        rj = np.minimum(ranks[edges[:, 1]] // cell, size - 1)
+        # each undirected edge occupies two symmetric entries; a
+        # within-block edge correctly contributes both to the same cell.
+        np.add.at(counts, (ri, rj), 1.0)
+        np.add.at(counts, (rj, ri), 1.0)
+    # normalise by block capacity
+    per_cell = float(cell * cell)
+    return counts / per_cell
+
+
+def ascii_spy(
+    graph: CSRGraph,
+    pi: np.ndarray | None = None,
+    *,
+    size: int = 32,
+    label: str = "",
+) -> str:
+    """Render the spy plot as text, one glyph per block.
+
+    Density is mapped logarithmically onto the glyph ramp so both sparse
+    road networks and dense cliques stay readable.
+    """
+    density = spy_density(graph, pi, size=size)
+    lines: list[str] = []
+    if label:
+        lines.append(label)
+    # Absolute log scale over [1e-4, 1] block density: a uniformly smeared
+    # (random-order) matrix renders as light dots, a dense diagonal as
+    # heavy glyphs — so plots of different orderings are comparable.
+    top_level = len(RAMP) - 1
+    for row in density:
+        glyphs = []
+        for value in row:
+            if value <= 0:
+                glyphs.append(RAMP[0])
+            else:
+                scaled = (np.log10(max(value, 1e-4)) + 4.0) / 4.0
+                level = 1 + int(scaled * (top_level - 1))
+                glyphs.append(RAMP[min(max(level, 1), top_level)])
+        lines.append("".join(glyphs))
+    return "\n".join(lines)
+
+
+def diagonal_mass(
+    graph: CSRGraph,
+    pi: np.ndarray | None = None,
+    *,
+    band_fraction: float = 0.1,
+) -> float:
+    """Fraction of edges whose gap lies within a diagonal band.
+
+    A scalar summary of the spy plot: the share of non-zeros within
+    ``band_fraction * n`` of the diagonal.  RCM maximises this; random
+    orderings drive it toward ``~2 * band_fraction``.
+    """
+    if not 0.0 < band_fraction <= 1.0:
+        raise ValueError("band_fraction must be in (0, 1]")
+    from .gaps import edge_gaps
+
+    gaps = edge_gaps(graph, pi)
+    if gaps.size == 0:
+        return 1.0
+    band = max(1, int(band_fraction * graph.num_vertices))
+    return float((gaps <= band).mean())

@@ -1,0 +1,192 @@
+"""Ordering scheme infrastructure: the result type, the ABC, the registry.
+
+Every scheme in Section III is implemented as an :class:`OrderingScheme`
+subclass.  A scheme consumes a graph and produces an :class:`Ordering`:
+the permutation, plus a deterministic *operation count* standing in for the
+reordering wall-clock cost (Figure 4 compares reordering costs across
+schemes; we compare abstract operation counts, which preserves the relative
+shape without depending on interpreter speed).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.permute import apply_ordering, validate_ordering
+
+__all__ = [
+    "Ordering",
+    "OrderingScheme",
+    "OperationCounter",
+    "register_scheme",
+    "get_scheme",
+    "available_schemes",
+    "iter_schemes",
+]
+
+
+class OperationCounter:
+    """Accumulates the abstract work performed by a scheme.
+
+    The counter tracks three classes of operations whose weighted sum is the
+    scheme's reordering cost: vertex visits, edge traversals, and
+    comparison/sort operations.  The weights are uniform (1.0) — Figure 4
+    compares relative cost shapes, which operation counts determine.
+    """
+
+    __slots__ = ("vertex_ops", "edge_ops", "compare_ops")
+
+    def __init__(self) -> None:
+        self.vertex_ops = 0
+        self.edge_ops = 0
+        self.compare_ops = 0
+
+    def count_vertices(self, n: int = 1) -> None:
+        """Record ``n`` vertex-level operations."""
+        self.vertex_ops += n
+
+    def count_edges(self, n: int = 1) -> None:
+        """Record ``n`` edge traversals."""
+        self.edge_ops += n
+
+    def count_compares(self, n: int = 1) -> None:
+        """Record ``n`` comparison operations (sorting, heap updates)."""
+        self.compare_ops += n
+
+    def count_sort(self, n: int) -> None:
+        """Record the comparisons of sorting ``n`` items (n log2 n)."""
+        if n > 1:
+            self.compare_ops += int(n * np.log2(n))
+
+    @property
+    def total(self) -> int:
+        """Total abstract operations."""
+        return self.vertex_ops + self.edge_ops + self.compare_ops
+
+
+@dataclass(frozen=True)
+class Ordering:
+    """The result of running a scheme on a graph.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the producing scheme (registry key).
+    permutation:
+        Rank array ``pi`` with ``pi[v]`` = new rank of vertex ``v``.
+    cost:
+        Abstract operation count of producing the ordering.
+    metadata:
+        Scheme-specific extras (e.g. number of communities found, number of
+        partitions, SlashBurn iterations).
+    """
+
+    scheme: str
+    permutation: np.ndarray
+    cost: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_ordering(self.permutation)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the ordering covers."""
+        return self.permutation.size
+
+    def apply(self, graph: CSRGraph) -> CSRGraph:
+        """Relabel ``graph`` under this ordering."""
+        return apply_ordering(graph, self.permutation)
+
+
+class OrderingScheme(abc.ABC):
+    """Base class for all vertex reordering schemes.
+
+    Subclasses implement :meth:`compute` returning the permutation and may
+    use the provided :class:`OperationCounter` to report their cost.
+    """
+
+    #: registry key; subclasses must override.
+    name: str = ""
+
+    #: coarse category used in reports (Figure 3's taxonomy).
+    category: str = "other"
+
+    def __init__(self, *, seed: int | None = 0) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int | None:
+        """Seed controlling any randomised tie-breaking in the scheme."""
+        return self._seed
+
+    def order(self, graph: CSRGraph) -> Ordering:
+        """Run the scheme and package the result."""
+        counter = OperationCounter()
+        rng = np.random.default_rng(self._seed)
+        permutation, metadata = self.compute(graph, counter, rng)
+        return Ordering(
+            scheme=self.name,
+            permutation=validate_ordering(permutation, graph.num_vertices),
+            cost=counter.total,
+            metadata=metadata,
+        )
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        """Compute the rank array for ``graph``.
+
+        Returns
+        -------
+        (permutation, metadata)
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, Callable[[], OrderingScheme]] = {}
+
+
+def register_scheme(
+    name: str, factory: Callable[[], OrderingScheme]
+) -> None:
+    """Register a scheme factory under ``name``.
+
+    Re-registering a name replaces the factory, which lets tests install
+    variants (e.g. different METIS partition counts).
+    """
+    _REGISTRY[name] = factory
+
+
+def get_scheme(name: str) -> OrderingScheme:
+    """Instantiate the scheme registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ordering scheme {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_schemes() -> list[str]:
+    """Sorted names of all registered schemes."""
+    return sorted(_REGISTRY)
+
+
+def iter_schemes(names: list[str] | None = None) -> Iterator[OrderingScheme]:
+    """Instantiate schemes by name (all registered schemes by default)."""
+    for name in names if names is not None else available_schemes():
+        yield get_scheme(name)

@@ -1,0 +1,190 @@
+"""Degree- and hub-based schemes (paper Section III-B).
+
+Three lightweight schemes that use only degree information:
+
+* **Degree Sort** — sort all vertices by degree.
+* **Hub Sort** (Zhang et al.) — sort only the *hub* vertices (degree above a
+  cutoff) to the front in non-increasing degree order; non-hubs keep their
+  relative natural order.
+* **Hub Clustering** (Balaji & Lucia) — merely make the hub vertices
+  contiguous (in natural relative order), without sorting them.
+
+These schemes do not optimise any gap measure; they aim at spatial locality
+among frequently accessed hubs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.permute import ordering_from_sequence
+from .base import OperationCounter, OrderingScheme
+
+__all__ = [
+    "DegreeSort",
+    "HubSort",
+    "HubCluster",
+    "DegreeBasedGrouping",
+    "average_degree_cutoff",
+]
+
+
+def average_degree_cutoff(graph: CSRGraph) -> float:
+    """The standard hub cutoff: the average degree of the graph.
+
+    Both the Hub Sort and Hub Clustering papers define hubs as vertices with
+    degree above the average.
+    """
+    if graph.num_vertices == 0:
+        return 0.0
+    return graph.num_directed_edges / graph.num_vertices
+
+
+class DegreeSort(OrderingScheme):
+    """Sort vertices by degree.
+
+    Parameters
+    ----------
+    descending:
+        Non-increasing degree order when True (default; hubs first, the
+        variant the paper's application study uses as "Degree").
+    """
+
+    name = "degree_sort"
+    category = "degree_hub"
+
+    def __init__(self, *, descending: bool = True, seed: int | None = 0) -> None:
+        super().__init__(seed=seed)
+        self._descending = descending
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        degrees = graph.degrees()
+        counter.count_vertices(n)
+        counter.count_sort(n)
+        key = -degrees if self._descending else degrees
+        # Stable sort: ties keep natural relative order.
+        sequence = np.argsort(key, kind="stable")
+        return ordering_from_sequence(sequence), {
+            "descending": self._descending
+        }
+
+
+class HubSort(OrderingScheme):
+    """Sort hub vertices to the front; non-hubs keep natural order.
+
+    Parameters
+    ----------
+    cutoff:
+        Minimum degree (exclusive) for a vertex to count as a hub;
+        ``None`` uses the average degree.
+    """
+
+    name = "hub_sort"
+    category = "degree_hub"
+
+    def __init__(self, *, cutoff: float | None = None, seed: int | None = 0) -> None:
+        super().__init__(seed=seed)
+        self._cutoff = cutoff
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        degrees = graph.degrees()
+        cutoff = (
+            self._cutoff if self._cutoff is not None
+            else average_degree_cutoff(graph)
+        )
+        counter.count_vertices(n)
+        hubs = np.flatnonzero(degrees > cutoff)
+        non_hubs = np.flatnonzero(degrees <= cutoff)
+        counter.count_sort(hubs.size)
+        hub_order = hubs[np.argsort(-degrees[hubs], kind="stable")]
+        sequence = np.concatenate((hub_order, non_hubs))
+        return ordering_from_sequence(sequence), {
+            "cutoff": float(cutoff),
+            "num_hubs": int(hubs.size),
+        }
+
+
+class DegreeBasedGrouping(OrderingScheme):
+    """Degree-Based Grouping (Faldu, Diamond & Grot 2019; paper ref [12]).
+
+    The lightweight scheme of the paper's cited prior work: vertices are
+    binned into coarse degree *groups* (powers-of-two degree ranges),
+    groups laid out from hottest (highest degree) to coldest, and the
+    relative **natural order preserved within every group**.  DBG captures
+    Hub Sort's hot/cold separation while retaining whatever spatial
+    structure the input labels already carry — the property Faldu et al.
+    show full Degree Sort destroys.
+    """
+
+    name = "dbg"
+    category = "degree_hub"
+
+    def __init__(self, *, seed: int | None = 0) -> None:
+        super().__init__(seed=seed)
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        degrees = graph.degrees()
+        counter.count_vertices(n)
+        # group id = floor(log2(degree + 1)); isolated vertices group 0.
+        groups = np.floor(np.log2(degrees + 1)).astype(np.int64)
+        # hottest groups first; stable within a group.
+        sequence = np.argsort(-groups, kind="stable")
+        num_groups = int(groups.max()) + 1 if n else 0
+        return ordering_from_sequence(sequence), {
+            "num_groups": num_groups,
+        }
+
+
+class HubCluster(OrderingScheme):
+    """Make hub vertices contiguous without sorting them.
+
+    The lightest-weight hub scheme: a single pass that relabels hubs to the
+    front, both groups preserving their relative natural order.
+    """
+
+    name = "hub_cluster"
+    category = "degree_hub"
+
+    def __init__(self, *, cutoff: float | None = None, seed: int | None = 0) -> None:
+        super().__init__(seed=seed)
+        self._cutoff = cutoff
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        degrees = graph.degrees()
+        cutoff = (
+            self._cutoff if self._cutoff is not None
+            else average_degree_cutoff(graph)
+        )
+        counter.count_vertices(n)
+        hubs = np.flatnonzero(degrees > cutoff)
+        non_hubs = np.flatnonzero(degrees <= cutoff)
+        sequence = np.concatenate((hubs, non_hubs))
+        return ordering_from_sequence(sequence), {
+            "cutoff": float(cutoff),
+            "num_hubs": int(hubs.size),
+        }

@@ -1,0 +1,117 @@
+"""Hybrid multiscale ordering engine (the paper's future-work direction).
+
+Section VII proposes exploring "the benefits of a multiscale and/or hybrid
+ordering engines" built on coarsening.  :class:`HybridOrder` realises the
+natural two-level design:
+
+1. detect communities (Louvain) — the coarsening step;
+2. order the *coarse community graph* with one scheme (``across``);
+3. order the vertices *inside* each community, on the community's induced
+   subgraph, with another scheme (``within``);
+4. concatenate: communities laid out in coarse order, members laid out in
+   within-community order.
+
+Grappolo-RCM is the special case ``across = rcm, within = natural``; the
+engine generalises it to any registered pair, which the hybrid ablation
+benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..community.louvain import louvain
+from ..graph.csr import CSRGraph
+from ..graph.permute import invert_ordering, ordering_from_sequence
+from ..graph.subgraph import induced_subgraph
+from .base import OperationCounter, OrderingScheme, get_scheme
+from .community import community_coarse_graph
+
+__all__ = ["HybridOrder"]
+
+
+class HybridOrder(OrderingScheme):
+    """Two-level ordering: communities by ``across``, members by ``within``.
+
+    Parameters
+    ----------
+    across:
+        Registry name of the scheme ordering the coarse community graph.
+    within:
+        Registry name of the scheme ordering each community's induced
+        subgraph.  Subgraphs at or below ``within_threshold`` vertices
+        keep their natural member order (ordering overhead would exceed
+        any benefit).
+    """
+
+    name = "hybrid"
+    category = "partitioning"
+
+    def __init__(
+        self,
+        *,
+        across: str = "rcm",
+        within: str = "rcm",
+        within_threshold: int = 4,
+        max_phases: int = 4,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        self._across = across
+        self._within = within
+        self._within_threshold = within_threshold
+        self._max_phases = max_phases
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        if n == 0:
+            return np.zeros(0, dtype=np.int64), {}
+        result = louvain(graph, max_phases=self._max_phases)
+        communities = result.communities
+        num_comms = result.num_communities
+        for phase in result.phases:
+            per_iter = phase.num_edges * 2 + phase.num_vertices
+            counter.count_edges(per_iter * phase.iteration_count)
+
+        # --- Level 1: order the communities.
+        coarse = community_coarse_graph(graph, communities)
+        across_scheme = get_scheme(self._across)
+        coarse_ordering = across_scheme.order(coarse)
+        counter.count_edges(coarse.num_directed_edges)
+        community_rank = coarse_ordering.permutation
+
+        # --- Level 2: order members inside each community.
+        members_of: list[list[int]] = [[] for _ in range(num_comms)]
+        for v in range(n):
+            members_of[int(communities[v])].append(v)
+
+        within_scheme = get_scheme(self._within)
+        sequence = np.empty(n, dtype=np.int64)
+        pos = 0
+        # communities in coarse rank order
+        for comm in np.argsort(community_rank, kind="stable"):
+            members = np.asarray(members_of[int(comm)], dtype=np.int64)
+            if members.size == 0:
+                continue
+            if members.size <= self._within_threshold:
+                local_sequence = np.arange(members.size, dtype=np.int64)
+            else:
+                view = induced_subgraph(graph, members, keep_weights=False)
+                counter.count_edges(view.graph.num_directed_edges)
+                local_ordering = within_scheme.order(view.graph)
+                local_sequence = invert_ordering(
+                    local_ordering.permutation
+                )
+            sequence[pos: pos + members.size] = members[local_sequence]
+            pos += members.size
+        counter.count_vertices(n)
+        return ordering_from_sequence(sequence), {
+            "across": self._across,
+            "within": self._within,
+            "num_communities": num_comms,
+        }

@@ -1,0 +1,128 @@
+"""Reverse Cuthill–McKee ordering (paper Section III-E).
+
+RCM is the classic bandwidth-reducing fill ordering: starting from a vertex
+of small degree (we use the George–Liu pseudo-peripheral finder), vertices
+are numbered in BFS discovery order with neighbours visited in
+non-decreasing degree order, and the final sequence is reversed.  Multiple
+components are handled by restarting from the unvisited vertex of smallest
+degree.
+
+The paper finds RCM the clear winner on graph bandwidth (Figure 6a) and
+competitive on the average gap profile (Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.permute import ordering_from_sequence
+from .base import OperationCounter, OrderingScheme
+
+__all__ = ["RCMOrder", "pseudo_peripheral_vertex", "cuthill_mckee_sequence"]
+
+
+def pseudo_peripheral_vertex(
+    graph: CSRGraph,
+    start: int,
+    counter: OperationCounter | None = None,
+) -> int:
+    """Find a pseudo-peripheral vertex of ``start``'s component.
+
+    George–Liu iteration: repeatedly BFS from the current candidate and hop
+    to a minimum-degree vertex in the last (deepest) level, until the
+    eccentricity stops growing.
+    """
+    degrees = graph.degrees()
+    current = start
+    current_depth = -1
+    while True:
+        levels = _bfs_levels(graph, current, counter)
+        depth = levels.max(initial=0)
+        if depth <= current_depth:
+            return current
+        current_depth = depth
+        last_level = np.flatnonzero(levels == depth)
+        current = int(last_level[np.argmin(degrees[last_level])])
+
+
+def _bfs_levels(
+    graph: CSRGraph, start: int, counter: OperationCounter | None
+) -> np.ndarray:
+    """BFS levels within ``start``'s component; other vertices get -1."""
+    n = graph.num_vertices
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[start] = 0
+    queue = deque([start])
+    edge_ops = 0
+    while queue:
+        u = queue.popleft()
+        lu = levels[u]
+        nbrs = graph.neighbors(u)
+        edge_ops += nbrs.size
+        for v in nbrs:
+            if levels[v] == -1:
+                levels[v] = lu + 1
+                queue.append(int(v))
+    if counter is not None:
+        counter.count_edges(edge_ops)
+    # Mask levels of other components back to -1 semantics: they stay -1.
+    return levels
+
+
+def cuthill_mckee_sequence(
+    graph: CSRGraph,
+    counter: OperationCounter | None = None,
+) -> np.ndarray:
+    """The (un-reversed) Cuthill–McKee visit sequence over all components."""
+    n = graph.num_vertices
+    degrees = graph.degrees()
+    visited = np.zeros(n, dtype=bool)
+    sequence: list[int] = []
+    # Process component starts in non-decreasing degree order, matching the
+    # "resume with another unvisited vertex of the smallest degree" rule.
+    order_by_degree = np.argsort(degrees, kind="stable")
+    if counter is not None:
+        counter.count_sort(n)
+    for candidate in order_by_degree:
+        if visited[candidate]:
+            continue
+        root = pseudo_peripheral_vertex(graph, int(candidate), counter)
+        visited[root] = True
+        sequence.append(root)
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            nbrs = graph.neighbors(u)
+            if counter is not None:
+                counter.count_edges(nbrs.size)
+            fresh = [int(v) for v in nbrs if not visited[v]]
+            fresh.sort(key=lambda v: (int(degrees[v]), v))
+            if counter is not None:
+                counter.count_sort(len(fresh))
+            for v in fresh:
+                if not visited[v]:
+                    visited[v] = True
+                    sequence.append(v)
+                    queue.append(v)
+    return np.asarray(sequence, dtype=np.int64)
+
+
+class RCMOrder(OrderingScheme):
+    """Reverse Cuthill–McKee."""
+
+    name = "rcm"
+    category = "fill_reducing"
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        counter.count_vertices(graph.num_vertices)
+        sequence = cuthill_mckee_sequence(graph, counter)
+        reversed_sequence = sequence[::-1].copy()
+        return ordering_from_sequence(reversed_sequence), {}

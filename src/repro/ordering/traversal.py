@@ -1,0 +1,179 @@
+"""Traversal-based orderings: BFS, DFS, and Children-DFS.
+
+These are not part of the paper's 11-scheme study, but footnote 1 of
+Section III-E singles out the *Children Depth-First Search* method of
+Banerjee et al. as a relaxation of Cuthill–McKee "where the renumbering of
+unvisited neighbours follows an arbitrary order at every level".  They are
+provided as additional registry schemes (``bfs``, ``dfs``, ``cdfs``) and
+used by the hybrid-engine ablation.
+
+* **BFS order** — plain breadth-first discovery order from a
+  pseudo-peripheral root per component.
+* **DFS order** — depth-first discovery order (iterative, neighbours in
+  natural order).
+* **CDFS order** — Banerjee et al.'s Children-DFS: visit a vertex, then
+  number *all* its unvisited children (in natural order) before descending
+  into the first child's subtree — a level-relaxed Cuthill–McKee without
+  the degree sort.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.permute import ordering_from_sequence
+from .base import OperationCounter, OrderingScheme
+from .rcm import pseudo_peripheral_vertex
+
+__all__ = ["BFSOrder", "DFSOrder", "ChildrenDFSOrder"]
+
+
+def _component_roots(
+    graph: CSRGraph, counter: OperationCounter
+) -> list[int]:
+    """One pseudo-peripheral root per connected component, by min id."""
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    roots: list[int] = []
+    for start in range(n):
+        if visited[start]:
+            continue
+        root = pseudo_peripheral_vertex(graph, start, counter)
+        roots.append(root)
+        # mark the whole component visited so the scan skips it
+        visited[root] = True
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not visited[v]:
+                    visited[v] = True
+                    queue.append(int(v))
+    return roots
+
+
+class BFSOrder(OrderingScheme):
+    """Breadth-first discovery order from pseudo-peripheral roots."""
+
+    name = "bfs"
+    category = "fill_reducing"
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        visited = np.zeros(n, dtype=bool)
+        sequence: list[int] = []
+        for root in _component_roots(graph, counter):
+            if visited[root]:
+                continue
+            visited[root] = True
+            sequence.append(root)
+            queue = deque([root])
+            while queue:
+                u = queue.popleft()
+                nbrs = graph.neighbors(u)
+                counter.count_edges(nbrs.size)
+                for v in nbrs:
+                    if not visited[v]:
+                        visited[v] = True
+                        sequence.append(int(v))
+                        queue.append(int(v))
+        counter.count_vertices(n)
+        return ordering_from_sequence(
+            np.asarray(sequence, dtype=np.int64)
+        ), {}
+
+
+class DFSOrder(OrderingScheme):
+    """Depth-first discovery order (iterative)."""
+
+    name = "dfs"
+    category = "fill_reducing"
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        visited = np.zeros(n, dtype=bool)
+        sequence: list[int] = []
+        for root in _component_roots(graph, counter):
+            if visited[root]:
+                continue
+            stack = [root]
+            while stack:
+                u = stack.pop()
+                if visited[u]:
+                    continue
+                visited[u] = True
+                sequence.append(u)
+                nbrs = graph.neighbors(u)
+                counter.count_edges(nbrs.size)
+                # reversed so the lowest-id neighbour is explored first
+                for v in nbrs[::-1]:
+                    if not visited[v]:
+                        stack.append(int(v))
+        counter.count_vertices(n)
+        return ordering_from_sequence(
+            np.asarray(sequence, dtype=np.int64)
+        ), {}
+
+
+class ChildrenDFSOrder(OrderingScheme):
+    """Children-DFS (Banerjee et al. 1988).
+
+    Number a vertex's unvisited children consecutively (arbitrary — here
+    natural — order), then recurse into each child's subtree in turn.
+    This keeps sibling groups contiguous like Cuthill–McKee but skips the
+    per-level degree sort.
+    """
+
+    name = "cdfs"
+    category = "fill_reducing"
+
+    def compute(
+        self,
+        graph: CSRGraph,
+        counter: OperationCounter,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict]:
+        n = graph.num_vertices
+        visited = np.zeros(n, dtype=bool)
+        sequence: list[int] = []
+
+        def expand(root: int) -> None:
+            # Iterative version of: number children, then recurse.
+            stack: list[int] = [root]
+            while stack:
+                u = stack.pop()
+                children: list[int] = []
+                nbrs = graph.neighbors(u)
+                counter.count_edges(nbrs.size)
+                for v in nbrs:
+                    v = int(v)
+                    if not visited[v]:
+                        visited[v] = True
+                        sequence.append(v)
+                        children.append(v)
+                # descend into children, first child's subtree first
+                stack.extend(reversed(children))
+
+        for root in _component_roots(graph, counter):
+            if visited[root]:
+                continue
+            visited[root] = True
+            sequence.append(root)
+            expand(root)
+        counter.count_vertices(n)
+        return ordering_from_sequence(
+            np.asarray(sequence, dtype=np.int64)
+        ), {}

@@ -1,0 +1,26 @@
+"""Multilevel graph partitioning (the in-tree METIS substitute)."""
+
+from .coarsen import CoarseLevel, coarsen_graph, contract_by_labels
+from .initial import edge_cut, greedy_bisection, partition_weights
+from .matching import heavy_edge_matching, matching_to_coarse_map
+from .multilevel import PartitionResult, bisect, partition_graph
+from .refine import fm_refine, move_gains
+from .separator import Separation, vertex_separator
+
+__all__ = [
+    "heavy_edge_matching",
+    "matching_to_coarse_map",
+    "CoarseLevel",
+    "coarsen_graph",
+    "contract_by_labels",
+    "greedy_bisection",
+    "edge_cut",
+    "partition_weights",
+    "fm_refine",
+    "move_gains",
+    "PartitionResult",
+    "bisect",
+    "partition_graph",
+    "Separation",
+    "vertex_separator",
+]

@@ -1,0 +1,79 @@
+"""Vertex separators for nested dissection.
+
+Nested dissection needs *vertex* separators; our multilevel partitioner
+produces *edge* bisections.  The standard conversion picks a vertex cover
+of the cut edges — removing those vertices disconnects the two sides.  We
+use the greedy cover that repeatedly takes the endpoint covering the most
+uncovered cut edges (a 2-approximation in cut size, matching what METIS's
+``onmetis`` derives from its edge bisections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .multilevel import bisect
+
+__all__ = ["Separation", "vertex_separator"]
+
+
+@dataclass(frozen=True)
+class Separation:
+    """A vertex separator split: left / right / separator vertex sets."""
+
+    left: np.ndarray
+    right: np.ndarray
+    separator: np.ndarray
+
+
+def vertex_separator(
+    graph: CSRGraph,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> Separation:
+    """Split ``graph`` into (left, right, separator).
+
+    The separator is a greedy vertex cover of the edge bisection's cut.
+    Every vertex lands in exactly one of the three sets.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return Separation(empty, empty, empty)
+    result = bisect(graph, seed=seed)
+    part = result.assignment
+
+    # Collect cut edges.
+    cut_edges: list[tuple[int, int]] = []
+    for u in range(n):
+        for v in graph.neighbors(u):
+            v = int(v)
+            if v > u and part[u] != part[v]:
+                cut_edges.append((u, v))
+
+    in_separator = np.zeros(n, dtype=bool)
+    if cut_edges:
+        # Greedy cover: count incidence on uncovered cut edges.
+        incidence: dict[int, set[int]] = {}
+        for idx, (u, v) in enumerate(cut_edges):
+            incidence.setdefault(u, set()).add(idx)
+            incidence.setdefault(v, set()).add(idx)
+        uncovered = set(range(len(cut_edges)))
+        while uncovered:
+            best = max(
+                incidence,
+                key=lambda x: (len(incidence[x] & uncovered), -x),
+            )
+            covering = incidence.pop(best) & uncovered
+            if not covering:
+                break
+            in_separator[best] = True
+            uncovered -= covering
+
+    left = np.flatnonzero((part == 0) & ~in_separator)
+    right = np.flatnonzero((part == 1) & ~in_separator)
+    separator = np.flatnonzero(in_separator)
+    return Separation(left, right, separator)

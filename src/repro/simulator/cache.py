@@ -1,0 +1,154 @@
+"""A set-associative LRU cache model.
+
+The unit of transfer is a cache line; callers address the cache by *line
+number* (byte address // line size), which the trace layer computes.  The
+model is deliberately simple — LRU replacement, no prefetching, inclusive
+levels handled by the hierarchy — because the phenomenon under study
+(vertex reordering changing spatial/temporal locality) is fully captured by
+hit/miss behaviour on demand accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "Cache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    ``size_bytes`` must be divisible by ``line_bytes * associativity``.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        way_bytes = self.line_bytes * self.associativity
+        if self.size_bytes % way_bytes != 0:
+            raise ValueError(
+                "size_bytes must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0.0 when never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """One set-associative LRU cache level.
+
+    The per-set structure is a plain dict from tag to a dirty flag:
+    Python dicts preserve insertion order, so deleting and re-inserting a
+    tag implements move-to-back LRU, and the eviction victim is the first
+    key.  Dirty evictions are counted as writebacks (used by the optional
+    store-traffic model).
+    """
+
+    __slots__ = (
+        "config", "stats", "writebacks", "_sets", "_num_sets", "_assoc",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self.writebacks = 0
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(self._num_sets)
+        ]
+
+    def access(self, line: int, *, store: bool = False) -> bool:
+        """Access a cache line; returns True on hit.
+
+        A miss installs the line (allocate-on-miss / write-allocate),
+        evicting LRU if the set is full.  ``store`` marks the line dirty;
+        evicting a dirty line counts a writeback.
+        """
+        set_idx = line % self._num_sets
+        tag = line // self._num_sets
+        lines = self._sets[set_idx]
+        if tag in lines:
+            dirty = lines.pop(tag) or store
+            lines[tag] = dirty
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(lines) >= self._assoc:
+            victim = next(iter(lines))
+            if lines.pop(victim):
+                self.writebacks += 1
+        lines[tag] = store
+        return False
+
+    def install(self, line: int) -> None:
+        """Install a line without touching hit/miss statistics.
+
+        Used for prefetches: the fill happens, but it is not a demand
+        access and must not perturb the demand counters.
+        """
+        set_idx = line % self._num_sets
+        tag = line // self._num_sets
+        lines = self._sets[set_idx]
+        if tag in lines:
+            dirty = lines.pop(tag)
+            lines[tag] = dirty
+            return
+        if len(lines) >= self._assoc:
+            victim = next(iter(lines))
+            if lines.pop(victim):
+                self.writebacks += 1
+        lines[tag] = False
+
+    def contains(self, line: int) -> bool:
+        """Whether a line is resident (no LRU update, no stats)."""
+        set_idx = line % self._num_sets
+        return (line // self._num_sets) in self._sets[set_idx]
+
+    def flush(self) -> None:
+        """Empty the cache, keeping statistics."""
+        for s in self._sets:
+            s.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters."""
+        self.stats = CacheStats()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,87 @@
+"""VTune-style report: average load latency and memory-level boundedness.
+
+The paper's Section VI-A metrics:
+
+* **Memory latency** — average latency of loads, in cycles.
+* **L1/L2/L3/DRAM Bound** — fraction of cycles stalled on each level.
+
+Our simulator attributes to each load the service latency of the level
+that satisfied it, so boundedness fractions are exact (and sum to the
+memory-stall share of total cycles; unlike real hardware they cannot
+exceed 100% because the model has no overlapping outstanding loads —
+noted in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hierarchy import LEVELS, ThreadCounters
+
+__all__ = ["CounterReport", "report_from_counters"]
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """One row of Figure 10 / Figure 12."""
+
+    loads: int
+    average_latency: float
+    #: fraction of total cycles stalled at L1, L2, L3, DRAM.
+    bound: tuple[float, float, float, float]
+    total_cycles: int
+    memory_cycles: int
+
+    @property
+    def l1_bound(self) -> float:
+        """Fraction of cycles bound by L1."""
+        return self.bound[0]
+
+    @property
+    def l2_bound(self) -> float:
+        """Fraction of cycles bound by L2."""
+        return self.bound[1]
+
+    @property
+    def l3_bound(self) -> float:
+        """Fraction of cycles bound by L3."""
+        return self.bound[2]
+
+    @property
+    def dram_bound(self) -> float:
+        """Fraction of cycles bound by DRAM."""
+        return self.bound[3]
+
+    def format_row(self) -> str:
+        """``Lat  L1%  L2%  L3%  DRAM%`` rendering used in reports."""
+        parts = [f"{self.average_latency:5.1f}"]
+        parts.extend(f"{b * 100.0:4.0f}%" for b in self.bound)
+        return "  ".join(parts)
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters keyed by metric name."""
+        out: dict[str, float] = {
+            "loads": float(self.loads),
+            "latency": self.average_latency,
+        }
+        for level, b in zip(LEVELS, self.bound):
+            out[f"{level.lower()}_bound"] = b
+        return out
+
+
+def report_from_counters(
+    counters: ThreadCounters, compute_cycles: int = 0
+) -> CounterReport:
+    """Build a report from merged thread counters plus compute cycles."""
+    memory_cycles = sum(counters.level_cycles)
+    total = memory_cycles + compute_cycles
+    if total <= 0:
+        return CounterReport(0, 0.0, (0.0, 0.0, 0.0, 0.0), 0, 0)
+    bound = tuple(c / total for c in counters.level_cycles)
+    return CounterReport(
+        loads=counters.loads,
+        average_latency=counters.average_latency,
+        bound=bound,  # type: ignore[arg-type]
+        total_cycles=total,
+        memory_cycles=memory_cycles,
+    )

@@ -1,0 +1,90 @@
+"""Shared fixtures: small hand-constructed graphs with known properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edges
+
+
+def make_path(n: int) -> CSRGraph:
+    """Path 0-1-2-...-(n-1)."""
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def make_cycle(n: int) -> CSRGraph:
+    """Cycle over n vertices."""
+    return from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def make_star(leaves: int) -> CSRGraph:
+    """Star: hub 0 with `leaves` leaves."""
+    return from_edges(leaves + 1, [(0, i + 1) for i in range(leaves)])
+
+
+def make_clique(n: int, offset: int = 0):
+    """Edge list of a clique over [offset, offset+n)."""
+    return [
+        (offset + i, offset + j)
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+
+
+def make_two_cliques(k: int = 5) -> CSRGraph:
+    """Two k-cliques joined by a single bridge edge."""
+    edges = make_clique(k) + make_clique(k, offset=k)
+    edges.append((k - 1, k))
+    return from_edges(2 * k, edges)
+
+
+def make_grid(w: int, h: int) -> CSRGraph:
+    """w x h grid graph."""
+    edges = []
+    for y in range(h):
+        for x in range(w):
+            v = y * w + x
+            if x + 1 < w:
+                edges.append((v, v + 1))
+            if y + 1 < h:
+                edges.append((v, v + w))
+    return from_edges(w * h, edges)
+
+
+def random_graph(n: int, m: int, seed: int = 0) -> CSRGraph:
+    """Random multigraph input canonicalised into a simple graph."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(n, size=m)
+    dst = rng.integers(n, size=m)
+    return from_edges(n, np.column_stack((src, dst)))
+
+
+@pytest.fixture
+def path7() -> CSRGraph:
+    return make_path(7)
+
+
+@pytest.fixture
+def cycle8() -> CSRGraph:
+    return make_cycle(8)
+
+
+@pytest.fixture
+def star6() -> CSRGraph:
+    return make_star(6)
+
+
+@pytest.fixture
+def two_cliques() -> CSRGraph:
+    return make_two_cliques(5)
+
+
+@pytest.fixture
+def grid5x4() -> CSRGraph:
+    return make_grid(5, 4)
+
+
+@pytest.fixture
+def medium_random() -> CSRGraph:
+    return random_graph(120, 400, seed=5)

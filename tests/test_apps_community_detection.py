@@ -1,0 +1,106 @@
+"""Unit tests for the instrumented community-detection study (Fig 9/10)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_sweep_items, run_community_detection
+from repro.graph.generators import planted_partition
+from repro.ordering import get_scheme
+from repro.simulator import CacheConfig, HierarchyConfig
+
+
+@pytest.fixture(scope="module")
+def modular_graph():
+    return planted_partition(6, 15, p_in=0.4, p_out=0.01, seed=2)
+
+
+def small_hierarchy():
+    return HierarchyConfig(
+        l1=CacheConfig(512, 64, 2),
+        l2=CacheConfig(2048, 64, 4),
+        l3=CacheConfig(8192, 64, 4),
+    )
+
+
+class TestSweepItems:
+    def test_one_item_per_vertex(self, modular_graph):
+        items = build_sweep_items(modular_graph)
+        assert len(items) == modular_graph.num_vertices
+
+    def test_item_loads_reflect_degree(self, modular_graph):
+        items = build_sweep_items(modular_graph)
+        degrees = modular_graph.degrees()
+        for v in (0, 5, 10):
+            # indptr + 3 per neighbour + >= 1 map reads
+            assert len(items[v].lines) >= 1 + 3 * degrees[v]
+
+    def test_community_state_changes_map_traffic(self, modular_graph):
+        singleton = build_sweep_items(modular_graph)
+        merged = build_sweep_items(
+            modular_graph,
+            communities=np.zeros(modular_graph.num_vertices, dtype=np.int64),
+        )
+        # one community -> fewer distinct map reads
+        assert sum(len(i.lines) for i in merged) <= sum(
+            len(i.lines) for i in singleton
+        )
+
+
+class TestRunCommunityDetection:
+    @pytest.fixture(scope="class")
+    def report(self, modular_graph):
+        ordering = get_scheme("grappolo").order(modular_graph)
+        return run_community_detection(
+            modular_graph, ordering,
+            num_threads=2, hierarchy=small_hierarchy(),
+        )
+
+    def test_report_fields(self, report):
+        assert report.scheme == "grappolo"
+        assert report.phase_seconds > 0
+        assert report.iteration_seconds > 0
+        assert report.iteration_count >= 1
+        assert report.phase_seconds == pytest.approx(
+            report.iteration_seconds * report.iteration_count
+        )
+
+    def test_modularity_sane(self, report):
+        assert 0.0 < report.modularity < 1.0
+
+    def test_work_fraction_bounds(self, report):
+        assert 0.0 < report.work_fraction <= 1.0
+
+    def test_work_per_edge_positive(self, report):
+        assert report.work_per_edge > 3.0  # at least 3 loads/edge modelled
+
+    def test_counters_present(self, report):
+        assert report.counters.loads > 0
+        assert report.counters.average_latency > 0
+
+    def test_as_dict(self, report):
+        d = report.as_dict()
+        assert {"phase_s", "iterations", "modularity", "work_pct"} <= set(d)
+
+    def test_ordering_affects_latency(self, modular_graph):
+        """A random ordering must not beat the community ordering."""
+        good = run_community_detection(
+            modular_graph,
+            get_scheme("grappolo").order(modular_graph),
+            num_threads=2, hierarchy=small_hierarchy(),
+        )
+        bad = run_community_detection(
+            modular_graph,
+            get_scheme("random").order(modular_graph),
+            num_threads=2, hierarchy=small_hierarchy(),
+        )
+        assert good.counters.average_latency <= (
+            bad.counters.average_latency * 1.05
+        )
+
+    def test_serial_execution(self, modular_graph):
+        report = run_community_detection(
+            modular_graph,
+            get_scheme("natural").order(modular_graph),
+            num_threads=1, hierarchy=small_hierarchy(),
+        )
+        assert report.work_fraction == 1.0

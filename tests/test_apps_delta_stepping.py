@@ -1,0 +1,78 @@
+"""Unit tests for delta-stepping SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.apps.delta_stepping import delta_stepping
+from repro.apps.kernels import sssp_kernel
+from repro.graph import from_edges
+from tests.conftest import make_path, make_two_cliques, random_graph
+
+
+class TestDeltaStepping:
+    def test_path_distances(self):
+        g = make_path(8)
+        dist, items = delta_stepping(g, 0)
+        assert list(dist) == list(range(8))
+        assert len(items) > 0
+
+    def test_matches_bellman_ford_unweighted(self, two_cliques):
+        ds, _ = delta_stepping(two_cliques, 0)
+        bf, _ = sssp_kernel(two_cliques, 0)
+        assert np.allclose(ds, bf)
+
+    def test_matches_bellman_ford_weighted(self):
+        g = from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (3, 5)],
+            weights=[1.0, 4.0, 1.0, 2.5, 0.5, 3.0],
+        )
+        ds, _ = delta_stepping(g, 0, delta=1.0)
+        bf, _ = sssp_kernel(g, 0)
+        assert np.allclose(ds, bf)
+
+    def test_random_weighted_graph_agrees(self):
+        rng = np.random.default_rng(4)
+        base = random_graph(60, 200, seed=4)
+        weights = rng.uniform(0.5, 3.0, size=base.num_edges)
+        edges = list(base.edges())
+        g = from_edges(60, edges, weights=list(weights))
+        for delta in (0.5, 1.0, 5.0):
+            ds, _ = delta_stepping(g, 0, delta=delta)
+            bf, _ = sssp_kernel(g, 0)
+            assert np.allclose(ds, bf), delta
+
+    def test_unreachable(self):
+        g = from_edges(4, [(0, 1)])
+        dist, _ = delta_stepping(g, 0)
+        assert np.isinf(dist[2]) and np.isinf(dist[3])
+
+    def test_invalid_delta(self, path7):
+        with pytest.raises(ValueError):
+            delta_stepping(path7, 0, delta=0.0)
+
+    def test_empty_graph(self):
+        dist, items = delta_stepping(from_edges(0, []))
+        assert dist.size == 0
+        assert items == []
+
+    def test_bucket_width_changes_phase_structure(self):
+        """Tiny delta -> many buckets -> more, smaller work items; the
+        distances stay identical."""
+        g = make_path(30)
+        fine_dist, fine_items = delta_stepping(g, 0, delta=0.5)
+        coarse_dist, coarse_items = delta_stepping(g, 0, delta=100.0)
+        assert np.allclose(fine_dist, coarse_dist)
+        assert len(fine_items) >= len(coarse_items)
+
+
+class TestDeltaSsspKernelEntry:
+    def test_registered_in_kernel_suite(self, two_cliques):
+        from repro.apps import run_kernel_study
+        from repro.ordering import get_scheme
+        ordering = get_scheme("natural").order(two_cliques)
+        reports = run_kernel_study(
+            two_cliques, ordering, kernels=("delta_sssp",),
+            num_threads=2,
+        )
+        assert reports["delta_sssp"].counters.loads > 0

@@ -1,0 +1,168 @@
+"""Unit tests for the prototypical kernel suite."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    bfs_kernel,
+    connected_components_kernel,
+    pagerank_kernel,
+    run_kernel_study,
+    sssp_kernel,
+    triangle_count_kernel,
+)
+from repro.graph import from_edges
+from repro.ordering import get_scheme
+from tests.conftest import (
+    make_clique,
+    make_path,
+    make_star,
+    make_two_cliques,
+    random_graph,
+)
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, two_cliques):
+        ranks, items = pagerank_kernel(two_cliques, iterations=10)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+        assert len(items) == 10 * two_cliques.num_vertices
+
+    def test_star_hub_dominates(self, star6):
+        ranks, _ = pagerank_kernel(star6, iterations=20)
+        assert ranks[0] == max(ranks)
+
+    def test_empty_graph(self):
+        ranks, items = pagerank_kernel(from_edges(0, []))
+        assert ranks.size == 0
+        assert items == []
+
+
+class TestSSSP:
+    def test_path_distances(self):
+        g = make_path(6)
+        dist, items = sssp_kernel(g, 0)
+        assert list(dist) == [0, 1, 2, 3, 4, 5]
+        assert len(items) > 0
+
+    def test_weighted_distances(self):
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)],
+                       weights=[1.0, 1.0, 5.0])
+        dist, _ = sssp_kernel(g, 0)
+        assert dist[2] == 2.0  # through vertex 1, not the direct edge
+
+    def test_unreachable_inf(self):
+        g = from_edges(3, [(0, 1)])
+        dist, _ = sssp_kernel(g, 0)
+        assert np.isinf(dist[2])
+
+    def test_round_cap(self):
+        g = make_path(50)
+        dist, _ = sssp_kernel(g, 0, max_rounds=5)
+        assert dist[5] == 5
+        assert np.isinf(dist[49])
+
+
+class TestBFS:
+    def test_matches_sssp_on_unweighted(self, two_cliques):
+        bfs_dist, _ = bfs_kernel(two_cliques, 0)
+        sssp_dist, _ = sssp_kernel(two_cliques, 0)
+        assert (bfs_dist == sssp_dist).all()
+
+    def test_items_per_visited_vertex(self, two_cliques):
+        _, items = bfs_kernel(two_cliques, 0)
+        assert len(items) == two_cliques.num_vertices  # connected
+
+
+class TestComponents:
+    def test_labels(self):
+        g = from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        labels, _ = connected_components_kernel(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[4] == labels[5]
+        assert labels[0] != labels[4]
+        assert labels[3] not in (labels[0], labels[4])
+
+    def test_matches_reference(self, medium_random):
+        from repro.graph import connected_components
+        labels, _ = connected_components_kernel(medium_random)
+        reference = connected_components(medium_random)
+        # same partition (possibly different label values)
+        seen = {}
+        for mine, ref in zip(labels, reference):
+            assert seen.setdefault(int(mine), int(ref)) == int(ref)
+
+
+class TestTriangles:
+    def test_clique(self):
+        g = from_edges(5, make_clique(5))
+        count, items = triangle_count_kernel(g)
+        assert count == 10
+        assert len(items) == 5
+
+    def test_triangle_free(self):
+        g = make_path(8)
+        count, _ = triangle_count_kernel(g)
+        assert count == 0
+
+
+class TestKernelStudy:
+    def test_reports(self, two_cliques):
+        ordering = get_scheme("natural").order(two_cliques)
+        reports = run_kernel_study(
+            two_cliques, ordering,
+            kernels=("pagerank", "bfs", "triangles"),
+            num_threads=2,
+        )
+        assert set(reports) == {"pagerank", "bfs", "triangles"}
+        for report in reports.values():
+            assert report.seconds > 0
+            assert 0 < report.work_fraction <= 1.0
+            assert report.counters.loads > 0
+
+    def test_unknown_kernel_rejected(self, two_cliques):
+        ordering = get_scheme("natural").order(two_cliques)
+        with pytest.raises(KeyError, match="unknown kernel"):
+            run_kernel_study(two_cliques, ordering, kernels=("pagernk",))
+
+    def test_ordering_changes_latency(self):
+        from repro.graph.generators import planted_partition
+        g = planted_partition(5, 16, p_in=0.4, p_out=0.01, seed=12)
+        good = run_kernel_study(
+            g, get_scheme("grappolo").order(g),
+            kernels=("pagerank",), num_threads=2,
+        )["pagerank"]
+        bad = run_kernel_study(
+            g, get_scheme("random").order(g),
+            kernels=("pagerank",), num_threads=2,
+        )["pagerank"]
+        assert good.counters.average_latency <= (
+            bad.counters.average_latency * 1.05
+        )
+
+
+class TestPageRankPush:
+    def test_matches_pull_variant(self, two_cliques):
+        from repro.apps import pagerank_push_kernel
+        pull, _ = pagerank_kernel(two_cliques, iterations=8)
+        push, _ = pagerank_push_kernel(two_cliques, iterations=8)
+        assert np.allclose(pull, push)
+
+    def test_ranks_sum_to_one(self, star6):
+        from repro.apps import pagerank_push_kernel
+        ranks, items = pagerank_push_kernel(star6, iterations=10)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+        assert len(items) == 10 * star6.num_vertices
+
+    def test_registered_kernel(self, two_cliques):
+        ordering = get_scheme("natural").order(two_cliques)
+        reports = run_kernel_study(
+            two_cliques, ordering, kernels=("pagerank_push",),
+            num_threads=2,
+        )
+        assert reports["pagerank_push"].counters.loads > 0
+
+    def test_empty_graph(self):
+        from repro.apps import pagerank_push_kernel
+        ranks, items = pagerank_push_kernel(from_edges(0, []))
+        assert ranks.size == 0 and items == []

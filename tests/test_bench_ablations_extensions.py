@@ -1,0 +1,130 @@
+"""Smoke tests for ablation and extension experiments on reduced inputs."""
+
+import pytest
+
+from repro.bench.ablations import (
+    ABLATIONS,
+    cache_geometry_sweep,
+    community_order_composition,
+    gorder_window_sweep,
+    hub_cutoff_sweep,
+    metis_part_order,
+    minloga_profile,
+    prefetcher_ablation,
+)
+from repro.bench.extensions import (
+    EXTENSIONS,
+    hybrid_engine_sweep,
+    kernel_study,
+    minla_refinement,
+    packing_factor_table,
+)
+
+
+class TestRegistries:
+    def test_ablation_registry(self):
+        assert len(ABLATIONS) == 8
+        assert all(k.startswith("ablation_") for k in ABLATIONS)
+
+    def test_extension_registry(self):
+        assert len(EXTENSIONS) == 6
+        assert all(k.startswith("ext_") for k in EXTENSIONS)
+
+
+class TestReducedAblations:
+    def test_gorder_window(self):
+        result = gorder_window_sweep(
+            windows=(1, 5), datasets=("chicago_road",)
+        )
+        assert set(result.data["auc"]) == {"gorder_w1", "gorder_w5"}
+
+    def test_hub_cutoff(self):
+        result = hub_cutoff_sweep(
+            multipliers=(1.0, 2.0), datasets=("figeys",)
+        )
+        sweeps = result.data["figeys"]
+        assert sweeps[1.0]["num_hubs"] >= sweeps[2.0]["num_hubs"]
+
+    def test_metis_part_order(self):
+        result = metis_part_order(
+            partition_counts=(8,), datasets=("euroroad",)
+        )
+        gaps = result.data["euroroad"][8]
+        assert gaps["shuffle"] > 0 and gaps["hierarchical"] > 0
+
+    def test_cache_geometry(self):
+        result = cache_geometry_sweep(
+            l3_kib=(64, 256), dataset="euroroad",
+            schemes=("natural", "random"),
+        )
+        assert set(result.data) == {64, 256}
+
+    def test_minloga(self):
+        result = minloga_profile(datasets=("chicago_road", "euroroad"))
+        assert "rcm" in result.data["auc"]
+
+    def test_community_order(self):
+        result = community_order_composition(datasets=("hamster_small",))
+        variants = result.data["hamster_small"]
+        assert "grappolo_rcm" in variants
+        assert "grappolo_random_comm_order" in variants
+
+    def test_prefetcher(self):
+        result = prefetcher_ablation(
+            dataset="euroroad", schemes=("natural",)
+        )
+        by_mode = result.data["natural"]
+        assert by_mode[True] <= by_mode[False] + 0.5
+
+
+class TestReducedExtensions:
+    def test_kernel_study(self):
+        result = kernel_study(
+            datasets=("euroroad",), schemes=("natural",),
+            kernels=("bfs",),
+        )
+        assert result.data["euroroad"]["natural"]["bfs"].seconds > 0
+
+    def test_packing_table(self):
+        result = packing_factor_table(
+            datasets=("euroroad",), schemes=("natural", "random")
+        )
+        assert result.data["euroroad"]["natural"] >= 1.0
+
+    def test_hybrid_sweep(self):
+        result = hybrid_engine_sweep(
+            datasets=("hamster_small",),
+            pairs=(("natural", "natural"), ("rcm", "natural")),
+        )
+        variants = result.data["hamster_small"]
+        assert "natural+natural" in variants
+
+    def test_minla(self):
+        result = minla_refinement(datasets=("euroroad",))
+        gaps = result.data["euroroad"]
+        assert gaps["annealed"] <= gaps["start"] * 1.001
+
+
+class TestCliIncludesAll:
+    def test_main_knows_ablations_and_extensions(self, capsys):
+        from repro.bench.__main__ import main
+        # unknown id error message should list everything
+        assert main(["bogus_experiment"]) == 2
+        err = capsys.readouterr().err
+        assert "ablation_prefetch" in err
+        assert "ext_kernels" in err
+
+
+class TestScalingStudy:
+    def test_reduced_scaling(self):
+        from repro.bench.scaling import ordering_effect_scaling
+        result = ordering_effect_scaling(
+            community_counts=(6, 12), community_size=30,
+            num_threads=2,
+        )
+        metrics = result.data["metrics"]
+        assert len(metrics) == 2
+        for per_scheme in metrics.values():
+            assert set(per_scheme) == {"grappolo", "natural", "random"}
+            for stats in per_scheme.values():
+                assert stats["latency"] > 0

@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` reordering tool."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.graph.io import read_edge_list, write_edge_list, write_metis
+from tests.conftest import random_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = random_graph(40, 100, seed=2)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    return path
+
+
+class TestCli:
+    def test_basic_run(self, graph_file, capsys):
+        assert main([str(graph_file), "--scheme", "rcm"]) == 0
+        out = capsys.readouterr().out
+        assert "natural" in out
+        assert "rcm" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.txt")]) == 2
+
+    def test_compare_mode(self, graph_file, capsys):
+        assert main([
+            str(graph_file), "--compare", "rcm", "degree_sort",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degree_sort" in out
+
+    def test_output_and_permutation(self, graph_file, tmp_path, capsys):
+        out_graph = tmp_path / "out.txt"
+        out_perm = tmp_path / "perm.txt"
+        assert main([
+            str(graph_file), "--scheme", "rcm",
+            "-o", str(out_graph), "--permutation", str(out_perm),
+        ]) == 0
+        reordered = read_edge_list(out_graph)
+        original = read_edge_list(graph_file)
+        assert reordered.num_edges == original.num_edges
+        perm = np.loadtxt(out_perm, dtype=np.int64)
+        assert sorted(perm) == list(range(original.num_vertices))
+
+    def test_metis_format_roundtrip(self, tmp_path, capsys):
+        g = random_graph(25, 60, seed=7)
+        src = tmp_path / "g.graph"
+        write_metis(g, src)
+        dst = tmp_path / "out.graph"
+        assert main([str(src), "--scheme", "natural", "-o", str(dst)]) == 0
+        from repro.graph.io import read_metis
+        assert read_metis(dst) == g

@@ -1,0 +1,66 @@
+"""Unit tests for the dataset catalog and registry."""
+
+import pytest
+
+from repro.datasets import (
+    CATALOG,
+    LARGE_SET,
+    SMALL_SET,
+    dataset_names,
+    load,
+    load_many,
+    spec,
+)
+
+
+class TestCatalogShape:
+    def test_34_inputs(self):
+        assert len(CATALOG) == 34
+        assert len(SMALL_SET) == 25
+        assert len(LARGE_SET) == 9
+
+    def test_sets_disjoint(self):
+        assert not set(SMALL_SET) & set(LARGE_SET)
+
+    def test_set_names_consistent(self):
+        for name in SMALL_SET:
+            assert spec(name).set_name == "small"
+        for name in LARGE_SET:
+            assert spec(name).set_name == "large"
+
+    def test_paper_stats_recorded(self):
+        s = spec("chicago_road")
+        assert s.paper_vertices == 1467
+        assert s.paper_edges == 1298
+        assert s.paper_max_degree == 12
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            spec("not_a_dataset")
+        with pytest.raises(KeyError):
+            load("not_a_dataset")
+
+    def test_dataset_names_order(self):
+        names = dataset_names()
+        assert names[:25] == SMALL_SET
+        assert names[25:] == LARGE_SET
+
+
+class TestBuilding:
+    @pytest.mark.parametrize("name", ["chicago_road", "euroroad", "vsp"])
+    def test_build_and_cache(self, name):
+        a = load(name)
+        b = load(name)
+        assert a is b  # memoised
+        assert a.num_vertices > 0
+        assert a.num_edges > 0
+
+    def test_load_many(self):
+        graphs = load_many(["chicago_road", "euroroad"])
+        assert set(graphs) == {"chicago_road", "euroroad"}
+
+    def test_families_have_expected_character(self):
+        road = load("chicago_road")
+        assert road.degrees().max() <= 8  # near-planar
+        hub = load("facebook_nips")
+        assert hub.degrees().max() > 50  # heavy hub skew

@@ -1,0 +1,50 @@
+"""Smoke tests: the fast examples run end-to-end as scripts."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", ["euroroad"])
+        out = capsys.readouterr().out
+        assert "euroroad" in out
+        assert "rcm" in out
+
+    def test_reorder_your_graph(self, capsys):
+        run_example("reorder_your_graph.py")
+        out = capsys.readouterr().out
+        assert "chose" in out
+        assert "permutation" in out
+
+    def test_cache_simulation(self, capsys):
+        run_example("cache_simulation.py")
+        out = capsys.readouterr().out
+        assert "random" in out
+        assert "grappolo" in out
+
+    def test_hybrid_ordering(self, capsys):
+        run_example("hybrid_ordering.py", ["hamster_small"])
+        out = capsys.readouterr().out
+        assert "best hybrid" in out
+
+
+def test_all_examples_importable():
+    """Every example parses (compile check, no execution)."""
+    for path in sorted(EXAMPLES.glob("*.py")):
+        source = path.read_text()
+        compile(source, str(path), "exec")

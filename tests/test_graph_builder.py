@@ -1,0 +1,94 @@
+"""Unit and property tests for graph construction canonicalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, empty_graph, from_edges
+
+
+class TestBuilder:
+    def test_self_loops_dropped(self):
+        g = from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicates_merged(self):
+        g = from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+
+    def test_duplicate_weights_summed(self):
+        g = from_edges(3, [(0, 1), (1, 0)], weights=[2.0, 3.0])
+        assert g.total_weight() == 5.0
+
+    def test_out_of_range_rejected(self):
+        builder = GraphBuilder(3)
+        with pytest.raises(ValueError, match="out of range"):
+            builder.add_edge(0, 3)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-1)
+
+    def test_empty_graph(self):
+        g = empty_graph(4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_weights_alignment_enforced(self):
+        with pytest.raises(ValueError, match="align"):
+            from_edges(3, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_forced_weighted_output(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1)
+        g = builder.build(weighted=True)
+        assert g.is_weighted
+        assert list(g.weights) == [1.0, 1.0]
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 19), st.integers(0, 19)),
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestBuilderProperties:
+    @given(edges=edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, edges):
+        g = from_edges(20, edges)
+        for u in range(20):
+            for v in g.neighbors(u):
+                assert u in g.neighbors(int(v))
+
+    @given(edges=edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_invariants(self, edges):
+        g = from_edges(20, edges)
+        # no self loops
+        for u in range(20):
+            assert u not in g.neighbors(u)
+        # sorted, duplicate-free adjacency
+        for u in range(20):
+            nbrs = list(g.neighbors(u))
+            assert nbrs == sorted(set(nbrs))
+        # handshake lemma
+        assert g.degrees().sum() == 2 * g.num_edges
+
+    @given(edges=edge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_edge_order_irrelevant(self, edges):
+        g1 = from_edges(20, edges)
+        g2 = from_edges(20, list(reversed(edges)))
+        assert g1 == g2
+
+    @given(edges=edge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_direction_irrelevant(self, edges):
+        g1 = from_edges(20, edges)
+        g2 = from_edges(20, [(v, u) for u, v in edges])
+        assert g1 == g2

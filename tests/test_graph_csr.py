@@ -1,0 +1,108 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edges
+from tests.conftest import make_path, make_star
+
+
+class TestConstruction:
+    def test_basic_counts(self, path7):
+        assert path7.num_vertices == 7
+        assert path7.num_edges == 6
+        assert path7.num_directed_edges == 12
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = from_edges(5, [(0, 1)])
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRGraph(np.asarray([1, 2]), np.asarray([0, 0]))
+
+    def test_indptr_tail_must_match(self):
+        with pytest.raises(ValueError, match="must equal"):
+            CSRGraph(np.asarray([0, 3]), np.asarray([0]))
+
+    def test_indices_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            CSRGraph(np.asarray([0, 1]), np.asarray([5]))
+
+    def test_non_monotone_indptr_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.asarray([0, 2, 1, 3]), np.asarray([0, 1, 2]))
+
+    def test_weight_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            CSRGraph(
+                np.asarray([0, 1]),
+                np.asarray([0]),
+                weights=np.asarray([1.0, 2.0]),
+            )
+
+
+class TestAccessors:
+    def test_degrees(self, star6):
+        assert star6.degree(0) == 6
+        assert star6.degree(1) == 1
+        assert list(star6.degrees()) == [6, 1, 1, 1, 1, 1, 1]
+
+    def test_neighbors_sorted(self, two_cliques):
+        for v in two_cliques:
+            nbrs = two_cliques.neighbors(v)
+            assert list(nbrs) == sorted(nbrs)
+
+    def test_has_edge(self, path7):
+        assert path7.has_edge(0, 1)
+        assert path7.has_edge(1, 0)
+        assert not path7.has_edge(0, 2)
+
+    def test_neighbor_weights_unweighted(self, path7):
+        assert list(path7.neighbor_weights(1)) == [1.0, 1.0]
+
+    def test_total_weight_unweighted(self, path7):
+        assert path7.total_weight() == 6.0
+
+    def test_total_weight_weighted(self):
+        g = from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 3.0])
+        assert g.total_weight() == 5.0
+        assert g.is_weighted
+
+
+class TestIteration:
+    def test_edges_once_each(self, cycle8):
+        edges = list(cycle8.edges())
+        assert len(edges) == 8
+        assert all(u <= v for u, v in edges)
+
+    def test_edge_array_matches_edges(self, two_cliques):
+        arr = two_cliques.edge_array()
+        assert arr.shape == (two_cliques.num_edges, 2)
+        assert set(map(tuple, arr)) == set(two_cliques.edges())
+
+    def test_len_and_iter(self, path7):
+        assert len(path7) == 7
+        assert list(path7) == list(range(7))
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = make_path(5)
+        b = make_path(5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_structure(self):
+        assert make_path(5) != make_star(4)
+
+    def test_weighted_vs_unweighted(self):
+        a = from_edges(3, [(0, 1)])
+        b = from_edges(3, [(0, 1)], weights=[1.0])
+        assert a != b

@@ -1,0 +1,112 @@
+"""Round-trip tests for the three supported graph file formats."""
+
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_matrix_market,
+    read_metis,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+from tests.conftest import make_two_cliques, random_graph
+
+
+@pytest.fixture
+def weighted_graph():
+    return from_edges(
+        5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        weights=[1.0, 2.0, 3.5, 1.0, 0.5],
+    )
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, two_cliques):
+        path = tmp_path / "g.txt"
+        write_edge_list(two_cliques, path)
+        assert read_edge_list(path) == two_cliques
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, path)
+        assert read_edge_list(path) == weighted_graph
+
+    def test_comments_and_one_based(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% other\n1 2\n2 3\n")
+        g = read_edge_list(path, one_based=True)
+        assert g.num_vertices == 3
+        assert g.has_edge(0, 1)
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+
+class TestMetis:
+    def test_roundtrip(self, tmp_path, two_cliques):
+        path = tmp_path / "g.graph"
+        write_metis(two_cliques, path)
+        assert read_metis(path) == two_cliques
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.graph"
+        write_metis(weighted_graph, path)
+        assert read_metis(path) == weighted_graph
+
+    def test_random_roundtrip(self, tmp_path):
+        g = random_graph(30, 80, seed=4)
+        path = tmp_path / "g.graph"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_metis(path)
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 1 000\n2\n1\n")  # only 2 rows for n=3
+        with pytest.raises(ValueError, match="expected 3"):
+            read_metis(path)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, two_cliques):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(two_cliques, path)
+        assert read_matrix_market(path) == two_cliques
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(weighted_graph, path)
+        assert read_matrix_market(path) == weighted_graph
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(ValueError, match="header"):
+            read_matrix_market(path)
+
+    def test_pattern_header_written_for_unweighted(
+        self, tmp_path, two_cliques
+    ):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(two_cliques, path)
+        assert "pattern" in path.read_text().splitlines()[0]
+
+
+class TestCrossFormat:
+    def test_all_formats_agree(self, tmp_path):
+        g = random_graph(25, 60, seed=11)
+        p1, p2, p3 = (tmp_path / n for n in ("a.txt", "b.graph", "c.mtx"))
+        write_edge_list(g, p1)
+        write_metis(g, p2)
+        write_matrix_market(g, p3)
+        assert read_edge_list(p1) == read_metis(p2) == read_matrix_market(p3)

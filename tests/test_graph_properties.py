@@ -1,0 +1,109 @@
+"""Unit tests for structural statistics and traversal primitives."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    count_triangles,
+    degree_statistics,
+    from_edges,
+    global_clustering_coefficient,
+    graph_summary,
+    largest_component_vertices,
+)
+from tests.conftest import make_clique, make_cycle, make_path, make_star
+
+
+class TestDegreeStatistics:
+    def test_star(self, star6):
+        stats = degree_statistics(star6)
+        assert stats.max_degree == 6
+        assert stats.num_edges == 6
+        assert stats.mean_degree == pytest.approx(12 / 7)
+
+    def test_empty(self):
+        stats = degree_statistics(from_edges(0, []))
+        assert stats.num_vertices == 0
+        assert stats.std_degree == 0.0
+
+    def test_regular_graph_zero_std(self, cycle8):
+        assert degree_statistics(cycle8).std_degree == 0.0
+
+
+class TestComponents:
+    def test_single_component(self, path7):
+        labels = connected_components(path7)
+        assert set(labels) == {0}
+
+    def test_two_components(self):
+        g = from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        labels = connected_components(g)
+        assert labels[0] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_largest_component(self):
+        g = from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        giant = largest_component_vertices(g)
+        assert set(giant) == {0, 1, 2, 3}
+
+
+class TestBFS:
+    def test_order_visits_component(self, path7):
+        order = bfs_order(path7, 0)
+        assert list(order) == list(range(7))
+
+    def test_order_from_middle(self, path7):
+        order = bfs_order(path7, 3)
+        assert order[0] == 3
+        assert set(order) == set(range(7))
+
+    def test_degree_sorted_rule(self):
+        # hub 0 with leaves 1..3 and a path leaf 4-5; from 4 the BFS
+        # reaches 5 then 0 at distance 2... build a custom graph:
+        g = from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+        order = bfs_order(g, 0, sort_neighbors_by_degree=True)
+        # neighbours of 0 sorted by degree: 1, 2 (deg1) then 3 (deg2)
+        assert list(order[:4]) == [0, 1, 2, 3]
+
+    def test_distances(self, path7):
+        dist = bfs_distances(path7, 0)
+        assert list(dist) == list(range(7))
+
+    def test_unreachable_distance(self):
+        g = from_edges(3, [(0, 1)])
+        assert bfs_distances(g, 0)[2] == -1
+
+
+class TestTriangles:
+    def test_triangle_count_clique(self):
+        g = from_edges(4, make_clique(4))
+        assert count_triangles(g) == 4
+
+    def test_no_triangles_in_path(self, path7):
+        assert count_triangles(path7) == 0
+
+    def test_clustering_coefficient_clique(self):
+        g = from_edges(5, make_clique(5))
+        assert global_clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_clustering_coefficient_star(self, star6):
+        assert global_clustering_coefficient(star6) == 0.0
+
+
+class TestSummary:
+    def test_full_summary(self, two_cliques):
+        s = graph_summary(two_cliques)
+        assert s.num_vertices == 10
+        assert s.num_components == 1
+        assert s.num_triangles == 20  # 10 per 5-clique
+        assert 0.0 < s.clustering_coefficient <= 1.0
+
+    def test_summary_without_triangles(self, two_cliques):
+        s = graph_summary(two_cliques, with_triangles=False)
+        assert s.num_triangles == 0
+        assert s.clustering_coefficient == 0.0

@@ -1,0 +1,122 @@
+"""Cross-module integration tests: full pipelines on real surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_community_detection, run_influence_maximization
+from repro.community import louvain, modularity
+from repro.datasets import load
+from repro.graph import apply_ordering, graph_summary, invert_ordering
+from repro.graph.io import read_metis, write_metis
+from repro.measures import gap_measures, performance_profile
+from repro.ordering import PAPER_SCHEMES, get_scheme
+
+
+class TestOrderingPipeline:
+    """file -> graph -> ordering -> relabel -> measure consistency."""
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        graph = load("euroroad")
+        ordering = get_scheme("rcm").order(graph)
+        relabelled = apply_ordering(graph, ordering.permutation)
+        path = tmp_path / "reordered.graph"
+        write_metis(relabelled, path)
+        restored = read_metis(path)
+        assert restored == relabelled
+        # measures computed on G with pi equal measures on relabelled G
+        assert gap_measures(
+            graph, ordering.permutation
+        ) == gap_measures(restored)
+
+    def test_summary_invariant_under_reordering(self):
+        graph = load("chicago_road")
+        ordering = get_scheme("grappolo").order(graph)
+        relabelled = apply_ordering(graph, ordering.permutation)
+        a = graph_summary(graph)
+        b = graph_summary(relabelled)
+        assert a.num_vertices == b.num_vertices
+        assert a.num_edges == b.num_edges
+        assert a.max_degree == b.max_degree
+        assert a.num_components == b.num_components
+        assert a.num_triangles == b.num_triangles
+        assert a.std_degree == pytest.approx(b.std_degree)
+        assert a.clustering_coefficient == pytest.approx(
+            b.clustering_coefficient
+        )
+
+    def test_all_schemes_on_one_surrogate(self):
+        graph = load("euroroad")
+        results = {}
+        for name in PAPER_SCHEMES:
+            ordering = get_scheme(name).order(graph)
+            results[name] = gap_measures(graph, ordering.permutation)
+        # a community/partition scheme beats random on the average gap
+        best = min(results, key=lambda s: results[s].average_gap)
+        assert best != "random"
+        # RCM is at or near the best bandwidth (it wins the profile, not
+        # necessarily every single input)
+        best_bw = min(m.bandwidth for m in results.values())
+        assert results["rcm"].bandwidth <= 1.5 * best_bw
+
+    def test_profile_over_three_inputs(self):
+        datasets = ("chicago_road", "euroroad", "delaunay_n11")
+        schemes = ("rcm", "grappolo", "random")
+        scores = {
+            s: {
+                d: gap_measures(
+                    load(d), get_scheme(s).order(load(d)).permutation
+                ).average_gap
+                for d in datasets
+            }
+            for s in schemes
+        }
+        profile = performance_profile(scores)
+        assert profile.rho("random", 1.0) == 0.0
+
+
+class TestCommunityPipeline:
+    def test_modularity_independent_of_ordering(self):
+        """Louvain quality must not depend materially on vertex order —
+        the paper's 'Modularity' heat-map finding."""
+        graph = load("hamster_small")
+        qs = []
+        for name in ("natural", "grappolo", "degree_sort", "random"):
+            ordering = get_scheme(name).order(graph)
+            relabelled = apply_ordering(graph, ordering.permutation)
+            qs.append(louvain(relabelled).modularity)
+        assert max(qs) - min(qs) < 0.05
+
+    def test_communities_map_back(self):
+        graph = load("hamster_small")
+        ordering = get_scheme("rcm").order(graph)
+        relabelled = apply_ordering(graph, ordering.permutation)
+        result = louvain(relabelled)
+        # project communities back to original ids and check quality there
+        inv = invert_ordering(ordering.permutation)
+        original_assignment = result.communities[ordering.permutation]
+        q = modularity(graph, original_assignment)
+        assert q == pytest.approx(result.modularity, abs=1e-9)
+        assert inv.size == graph.num_vertices
+
+
+class TestApplicationPipeline:
+    def test_cd_and_im_on_same_graph(self):
+        graph = load("ca_roadnet")
+        ordering = get_scheme("natural").order(graph)
+        cd = run_community_detection(graph, ordering, num_threads=2)
+        im = run_influence_maximization(
+            graph, ordering, k=4, probability=0.2,
+            num_threads=2, max_samples=150,
+        )
+        assert cd.modularity > 0.5  # road networks are highly modular
+        assert im.num_samples >= 1
+        assert im.total_seconds > 0
+
+    def test_thread_scaling_reduces_makespan(self):
+        graph = load("hamster_full")
+        ordering = get_scheme("grappolo").order(graph)
+        serial = run_community_detection(graph, ordering, num_threads=1)
+        parallel = run_community_detection(graph, ordering, num_threads=4)
+        assert parallel.iteration_seconds < serial.iteration_seconds
+        # iteration counts identical: the algorithm is the same
+        assert parallel.iteration_count == serial.iteration_count

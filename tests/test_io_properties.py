@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for all graph file formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_matrix_market,
+    read_metis,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+
+FORMATS = [
+    (write_edge_list, read_edge_list, "txt"),
+    (write_metis, read_metis, "graph"),
+    (write_matrix_market, read_matrix_market, "mtx"),
+]
+
+
+def build_graph(n, edges, weights):
+    canonical = [(u % n, v % n) for u, v in edges]
+    if weights is None:
+        return from_edges(n, canonical)
+    ws = [round(0.25 + w, 3) for w in weights[: len(canonical)]]
+    ws += [1.0] * (len(canonical) - len(ws))
+    return from_edges(n, canonical, weights=ws)
+
+
+graph_strategy = st.builds(
+    build_graph,
+    n=st.integers(1, 25),
+    edges=st.lists(
+        st.tuples(st.integers(0, 24), st.integers(0, 24)),
+        min_size=0,
+        max_size=60,
+    ),
+    weights=st.one_of(
+        st.none(),
+        st.lists(st.floats(0.0, 9.0, allow_nan=False), max_size=60),
+    ),
+)
+
+
+@pytest.mark.parametrize("writer,reader,ext", FORMATS)
+class TestRoundTrips:
+    @given(graph=graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_identity(self, writer, reader, ext, graph, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / f"g.{ext}"
+        writer(graph, path)
+        restored = reader(path)
+        assert restored.num_vertices == graph.num_vertices
+        assert restored.num_edges == graph.num_edges
+        assert np.array_equal(restored.indptr, graph.indptr)
+        assert np.array_equal(restored.indices, graph.indices)
+        # weightedness is only representable when edges exist (an empty
+        # weighted graph legitimately round-trips as unweighted)
+        if graph.is_weighted and graph.num_edges > 0:
+            assert restored.is_weighted
+            assert np.allclose(restored.weights, graph.weights)

@@ -1,0 +1,126 @@
+"""Tests for betweenness centrality, configuration model, and prefetch."""
+
+import numpy as np
+import pytest
+
+from repro.apps import betweenness_kernel, run_kernel_study
+from repro.graph import from_edges
+from repro.graph.generators import configuration_model
+from repro.ordering import get_scheme
+from repro.simulator import Cache, CacheConfig, HierarchyConfig, MemoryHierarchy
+from tests.conftest import make_path, make_star, random_graph
+
+
+class TestBetweenness:
+    def test_path_center_highest(self):
+        g = make_path(7)
+        bc, items = betweenness_kernel(g, num_sources=7, seed=0)
+        assert int(np.argmax(bc)) == 3  # the middle vertex
+        assert len(items) > 0
+
+    def test_exact_path_values(self):
+        """All-sources Brandes on a 5-path gives exact betweenness."""
+        g = make_path(5)
+        bc, _ = betweenness_kernel(g, num_sources=5, seed=0)
+        # path betweenness: v1 and v3 = 3, v2 = 4, endpoints 0
+        assert bc[0] == pytest.approx(0.0)
+        assert bc[2] == pytest.approx(4.0)
+        assert bc[1] == pytest.approx(3.0)
+
+    def test_star_hub(self, star6):
+        bc, _ = betweenness_kernel(star6, num_sources=7, seed=0)
+        assert int(np.argmax(bc)) == 0
+        assert bc[1] == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        bc, items = betweenness_kernel(from_edges(0, []))
+        assert bc.size == 0
+        assert items == []
+
+    def test_in_kernel_study(self, two_cliques):
+        ordering = get_scheme("natural").order(two_cliques)
+        reports = run_kernel_study(
+            two_cliques, ordering, kernels=("betweenness",),
+            num_threads=2,
+        )
+        assert reports["betweenness"].counters.loads > 0
+
+
+class TestConfigurationModel:
+    def test_degree_targets_approximate(self):
+        degrees = [3] * 40
+        g = configuration_model(degrees, seed=1)
+        assert g.num_vertices == 40
+        # dedup can only lower degrees
+        assert (g.degrees() <= 3).all()
+        assert g.degrees().mean() > 2.0
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            configuration_model([3, 2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            configuration_model([-1, 1])
+
+    def test_deterministic(self):
+        degrees = [2, 3, 3, 4, 2, 2]
+        assert configuration_model(degrees, seed=5) == configuration_model(
+            degrees, seed=5
+        )
+
+    def test_heavy_tail_preserved(self):
+        degrees = [50] + [1] * 50  # even sum
+        g = configuration_model(degrees, seed=2)
+        # hub-hub stub pairings collapse to dropped self-loops, so the
+        # realised hub degree is below 50 but still dominates
+        assert g.degrees().max() >= 15
+
+
+class TestPrefetcher:
+    def test_stream_benefits(self):
+        slow = MemoryHierarchy(1, HierarchyConfig())
+        fast = MemoryHierarchy(
+            1, HierarchyConfig(prefetch_next_line=True)
+        )
+        for line in range(300):
+            slow.access(0, line)
+            fast.access(0, line)
+        assert (
+            fast.merged_counters().average_latency
+            < slow.merged_counters().average_latency
+        )
+
+    def test_random_pattern_unaffected_much(self):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 100_000, size=300)
+        base = MemoryHierarchy(1, HierarchyConfig())
+        pf = MemoryHierarchy(1, HierarchyConfig(prefetch_next_line=True))
+        for line in lines:
+            base.access(0, int(line))
+            pf.access(0, int(line))
+        a = base.merged_counters().average_latency
+        b = pf.merged_counters().average_latency
+        assert b == pytest.approx(a, rel=0.05)
+
+    def test_install_does_not_count(self):
+        cache = Cache(CacheConfig(4 * 64, 64, 2))
+        cache.install(5)
+        assert cache.stats.accesses == 0
+        assert cache.contains(5)
+
+    def test_install_evicts_lru(self):
+        cache = Cache(CacheConfig(2 * 64, 64, 2))  # 1 set x 2 ways
+        cache.access(0)
+        cache.access(1)
+        cache.install(2)
+        assert not cache.contains(0)
+        assert cache.contains(1)
+        assert cache.contains(2)
+
+
+class TestConfigModelOddSumCheck:
+    def test_heavy_tail_sum_parity(self):
+        # [50] + [1]*50 sums to 100 (even) — should build fine
+        g = configuration_model([50] + [1] * 50, seed=3)
+        assert g.num_vertices == 51

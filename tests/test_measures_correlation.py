@@ -1,0 +1,86 @@
+"""Unit tests for rank correlation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.measures import (
+    CorrelationResult,
+    correlate_metrics,
+    pearson,
+    spearman,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.asarray([1.0, 2.0, 3.0])
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.asarray([1.0, 2.0, 3.0])
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series(self):
+        assert pearson(np.ones(5), np.arange(5)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.ones(3), np.ones(4))
+
+    def test_single_point(self):
+        assert pearson(np.asarray([1.0]), np.asarray([2.0])) == 0.0
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.asarray([1.0, 2.0, 3.0, 4.0])
+        y = x ** 3  # monotone, nonlinear
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_reversed(self):
+        x = np.arange(6, dtype=float)
+        assert spearman(x, x[::-1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        x = np.asarray([1.0, 1.0, 2.0, 3.0])
+        y = np.asarray([5.0, 5.0, 6.0, 7.0])
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_uncorrelated_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(500)
+        y = rng.random(500)
+        assert abs(spearman(x, y)) < 0.15
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+        rng = np.random.default_rng(3)
+        x = rng.random(60)
+        y = x + rng.normal(scale=0.3, size=60)
+        ours = spearman(x, y)
+        reference = spearmanr(x, y).statistic
+        assert ours == pytest.approx(float(reference), abs=1e-9)
+
+
+class TestCorrelateMetrics:
+    def test_basic(self):
+        predictor = {"a": 1.0, "b": 2.0, "c": 3.0}
+        response = {"a": 10.0, "b": 20.0, "c": 30.0}
+        result = correlate_metrics(
+            predictor, response,
+            predictor_name="gap", response_name="time",
+        )
+        assert isinstance(result, CorrelationResult)
+        assert result.spearman == pytest.approx(1.0)
+        assert result.num_points == 3
+        assert result.predictor == "gap"
+
+    def test_shared_keys_only(self):
+        predictor = {"a": 1.0, "b": 2.0, "x": 9.0}
+        response = {"a": 1.0, "b": 4.0, "y": 9.0}
+        result = correlate_metrics(predictor, response)
+        assert result.num_points == 2
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            correlate_metrics({"a": 1.0}, {"a": 2.0})

@@ -1,0 +1,112 @@
+"""Unit tests for gap-distribution summaries (Figure 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.measures import (
+    distribution_divergence_factor,
+    gap_distribution,
+    log_histogram,
+)
+from repro.graph import from_edges
+from tests.conftest import make_path, random_graph
+
+
+class TestLogHistogram:
+    def test_empty(self):
+        counts, edges = log_histogram(np.zeros(0, dtype=np.int64))
+        assert counts.sum() == 0
+
+    def test_single_decade(self):
+        counts, edges = log_histogram(np.asarray([1, 2, 5, 9]))
+        assert counts[0] == 4
+        assert edges[0] == 1.0
+
+    def test_decade_boundaries(self):
+        counts, edges = log_histogram(np.asarray([1, 10, 100]))
+        # bins [1,10), [10,100), [100,1000)
+        assert counts[0] == 1
+        assert counts[1] == 1
+        assert counts[2] == 1
+
+    def test_total_preserved(self):
+        gaps = np.asarray([1, 3, 17, 230, 999, 1000])
+        counts, _ = log_histogram(gaps)
+        assert counts.sum() == gaps.size
+
+
+class TestGapDistribution:
+    def test_path_distribution(self):
+        g = make_path(10)
+        dist = gap_distribution(g)
+        assert dist.count == 9
+        assert dist.mean == 1.0
+        assert dist.minimum == dist.maximum == 1
+        assert dist.median == 1.0
+
+    def test_empty_graph(self):
+        dist = gap_distribution(from_edges(4, []))
+        assert dist.count == 0
+        assert dist.mean == 0.0
+
+    def test_quantiles_ordered(self):
+        g = random_graph(50, 200, seed=1)
+        dist = gap_distribution(g)
+        q = dist.quantiles
+        assert q == tuple(sorted(q))
+        assert dist.minimum <= q[0]
+        assert q[4] <= dist.maximum
+
+    def test_fraction_below(self):
+        g = make_path(10)
+        dist = gap_distribution(g)
+        assert dist.fraction_below(10.0) == 1.0
+        assert dist.fraction_below(1.0) == 0.0
+
+    def test_ordering_changes_distribution(self):
+        g = make_path(20)
+        rng = np.random.default_rng(0)
+        shuffled = gap_distribution(g, rng.permutation(20))
+        natural = gap_distribution(g)
+        assert shuffled.mean > natural.mean
+
+
+class TestDivergenceFactor:
+    def test_simple(self):
+        assert distribution_divergence_factor(
+            {"a": 2.0, "b": 10.0}
+        ) == pytest.approx(5.0)
+
+    def test_all_equal(self):
+        assert distribution_divergence_factor({"a": 3.0, "b": 3.0}) == 1.0
+
+    def test_all_zero(self):
+        assert distribution_divergence_factor({"a": 0.0, "b": 0.0}) == 1.0
+
+    def test_zero_best(self):
+        assert distribution_divergence_factor(
+            {"a": 0.0, "b": 1.0}
+        ) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_divergence_factor({})
+
+
+class TestAsciiViolin:
+    def test_bars_proportional(self):
+        from repro.measures import ascii_violin, gap_distribution
+        from tests.conftest import make_path
+        dist = gap_distribution(make_path(30))
+        art = ascii_violin(dist, width=10, label="path")
+        lines = art.splitlines()
+        assert lines[0] == "path"
+        # all gaps are 1: first decade bar is full width
+        assert "##########" in lines[1]
+
+    def test_empty_distribution(self):
+        from repro.measures import ascii_violin, gap_distribution
+        from repro.graph import from_edges
+        dist = gap_distribution(from_edges(3, []))
+        art = ascii_violin(dist)
+        assert isinstance(art, str)

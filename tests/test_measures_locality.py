@@ -1,0 +1,122 @@
+"""Unit tests for packing factor, reuse distance, and working sets."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.measures import (
+    locality_profile,
+    miss_rate_curve,
+    packing_factor,
+    reuse_distances,
+    vertex_line_fragmentation,
+    working_set_sizes,
+)
+from tests.conftest import make_path, make_star, random_graph
+
+
+class TestPackingFactor:
+    def test_contiguous_neighbourhood_is_packed(self):
+        # vertex 0 adjacent to 1..8: ranks 1..8 span exactly one full line
+        # boundary (line 0 holds ranks 0-7, line 1 holds rank 8)
+        g = from_edges(9, [(0, i) for i in range(1, 9)])
+        frag = vertex_line_fragmentation(g)
+        assert frag[0] == pytest.approx(2.0)  # 2 lines touched, 1 minimal
+
+    def test_perfectly_packed(self):
+        # vertex 8 adjacent to 0..7: exactly line 0, minimal 1
+        g = from_edges(9, [(8, i) for i in range(8)])
+        frag = vertex_line_fragmentation(g)
+        assert frag[8] == pytest.approx(1.0)
+
+    def test_scattered_neighbourhood(self):
+        # neighbours spaced 8 apart: every neighbour on its own line
+        edges = [(0, 8 * i) for i in range(1, 5)]
+        g = from_edges(33, edges)
+        frag = vertex_line_fragmentation(g)
+        assert frag[0] == pytest.approx(4.0)
+
+    def test_isolated_vertices(self):
+        g = from_edges(3, [])
+        assert packing_factor(g) == 1.0
+        assert (vertex_line_fragmentation(g) == 1.0).all()
+
+    def test_factor_at_least_one(self):
+        g = random_graph(100, 400, seed=6)
+        assert packing_factor(g) >= 1.0
+
+    def test_ordering_can_reduce_packing(self):
+        from repro.graph.generators import planted_partition
+        from repro.ordering import get_scheme
+        g = planted_partition(5, 16, p_in=0.4, p_out=0.01, seed=4)
+        natural = packing_factor(g)
+        ordered = packing_factor(
+            g, get_scheme("grappolo").order(g).permutation
+        )
+        assert ordered < natural
+
+
+class TestReuseDistance:
+    def test_cold_accesses(self):
+        assert list(reuse_distances(np.asarray([1, 2, 3]))) == [-1, -1, -1]
+
+    def test_immediate_reuse(self):
+        assert list(reuse_distances(np.asarray([5, 5]))) == [-1, 0]
+
+    def test_stack_distance(self):
+        # a b c a: 'a' has 2 distinct lines between uses
+        out = reuse_distances(np.asarray([1, 2, 3, 1]))
+        assert out[3] == 2
+
+    def test_distance_counts_distinct_not_total(self):
+        # a b b a: only one distinct line between the two 'a's
+        out = reuse_distances(np.asarray([1, 2, 2, 1]))
+        assert out[3] == 1
+
+
+class TestMissRateCurve:
+    def test_monotone_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(30, size=500)
+        d = reuse_distances(trace)
+        curve = miss_rate_curve(d, [1, 4, 16, 64])
+        assert list(curve) == sorted(curve, reverse=True)
+
+    def test_infinite_cache_only_cold_misses(self):
+        trace = np.asarray([1, 2, 1, 2, 3, 1])
+        d = reuse_distances(trace)
+        rate = miss_rate_curve(d, [1000])[0]
+        assert rate == pytest.approx(3 / 6)  # 3 cold misses
+
+
+class TestWorkingSet:
+    def test_window_sizes(self):
+        trace = np.asarray([1, 1, 2, 3, 3, 3])
+        sizes = working_set_sizes(trace, window=3)
+        assert list(sizes) == [2, 1]
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            working_set_sizes(np.asarray([1]), window=0)
+
+
+class TestLocalityProfile:
+    def test_profile_fields(self):
+        g = random_graph(60, 200, seed=9)
+        profile = locality_profile(g)
+        assert profile.packing_factor >= 1.0
+        assert 0.0 <= profile.cold_fraction <= 1.0
+        assert len(profile.miss_rates) == len(profile.capacities)
+        assert list(profile.miss_rates) == sorted(
+            profile.miss_rates, reverse=True
+        )
+
+    def test_good_ordering_improves_reuse(self):
+        from repro.graph.generators import planted_partition
+        from repro.ordering import get_scheme
+        g = planted_partition(5, 16, p_in=0.4, p_out=0.01, seed=8)
+        natural = locality_profile(g)
+        ordered = locality_profile(
+            g, get_scheme("grappolo").order(g).permutation
+        )
+        assert ordered.mean_reuse_distance <= natural.mean_reuse_distance

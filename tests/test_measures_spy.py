@@ -1,0 +1,84 @@
+"""Unit tests for spy-plot density and diagonal-mass summaries."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.measures.spy import ascii_spy, diagonal_mass, spy_density
+from repro.ordering import get_scheme
+from tests.conftest import make_grid, make_path, random_graph
+
+
+class TestSpyDensity:
+    def test_shape(self, medium_random):
+        d = spy_density(medium_random, size=16)
+        assert d.shape == (16, 16)
+
+    def test_symmetric(self, medium_random):
+        d = spy_density(medium_random, size=8)
+        assert np.allclose(d, d.T)
+
+    def test_path_is_diagonal(self):
+        g = make_path(64)
+        d = spy_density(g, size=8)
+        off_diagonal = d.copy()
+        for i in range(8):
+            for j in range(max(0, i - 1), min(8, i + 2)):
+                off_diagonal[i, j] = 0.0
+        assert off_diagonal.sum() == 0.0
+
+    def test_total_mass_counts_edges(self):
+        g = make_path(64)
+        cell = 8  # 64 / 8
+        d = spy_density(g, size=8)
+        # total (entries) = 2 * m since both triangles are filled
+        assert d.sum() * cell * cell == pytest.approx(2 * g.num_edges)
+
+    def test_size_validated(self, path7):
+        with pytest.raises(ValueError):
+            spy_density(path7, size=0)
+
+    def test_empty_graph(self):
+        d = spy_density(from_edges(0, []), size=4)
+        assert d.sum() == 0.0
+
+
+class TestAsciiSpy:
+    def test_grid_dimensions(self, medium_random):
+        art = ascii_spy(medium_random, size=12, label="g")
+        lines = art.splitlines()
+        assert lines[0] == "g"
+        assert len(lines) == 13
+        assert all(len(row) == 12 for row in lines[1:])
+
+    def test_rcm_more_diagonal_than_random(self):
+        g = make_grid(16, 16)
+        rng = np.random.default_rng(0)
+        rcm_pi = get_scheme("rcm").order(g).permutation
+        random_pi = rng.permutation(256).astype(np.int64)
+        # compare via diagonal mass, the scalar the plot encodes
+        assert diagonal_mass(g, rcm_pi) > diagonal_mass(g, random_pi)
+
+    def test_edgeless(self):
+        art = ascii_spy(from_edges(5, []), size=4)
+        assert isinstance(art, str)
+
+
+class TestDiagonalMass:
+    def test_path_fully_banded(self):
+        g = make_path(50)
+        assert diagonal_mass(g) == 1.0
+
+    def test_random_order_band_small(self):
+        g = random_graph(200, 800, seed=1)
+        rng = np.random.default_rng(2)
+        mass = diagonal_mass(g, rng.permutation(200), band_fraction=0.05)
+        # expected ~2 * band_fraction for a random layout
+        assert mass < 0.3
+
+    def test_band_fraction_validated(self, path7):
+        with pytest.raises(ValueError):
+            diagonal_mass(path7, band_fraction=0.0)
+
+    def test_empty_graph(self):
+        assert diagonal_mass(from_edges(3, [])) == 1.0

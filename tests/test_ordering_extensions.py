@@ -1,0 +1,268 @@
+"""Unit tests for the extension schemes: BFS/DFS/CDFS, MinLA, Hybrid."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, invert_ordering
+from repro.measures import average_gap, graph_bandwidth
+from repro.ordering import (
+    BFSOrder,
+    ChildrenDFSOrder,
+    DFSOrder,
+    HybridOrder,
+    MinLAAnneal,
+    NaturalOrder,
+    swap_delta,
+    total_gap,
+)
+from tests.conftest import (
+    make_clique,
+    make_grid,
+    make_path,
+    make_two_cliques,
+    random_graph,
+)
+
+
+class TestTraversalOrders:
+    @pytest.mark.parametrize(
+        "scheme", [BFSOrder(), DFSOrder(), ChildrenDFSOrder()]
+    )
+    def test_valid_permutation(self, scheme, medium_random):
+        ordering = scheme.order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    @pytest.mark.parametrize(
+        "scheme", [BFSOrder(), DFSOrder(), ChildrenDFSOrder()]
+    )
+    def test_disconnected(self, scheme):
+        g = from_edges(8, [(0, 1), (3, 4), (6, 7)])
+        ordering = scheme.order(g)
+        assert sorted(ordering.permutation) == list(range(8))
+
+    def test_bfs_matches_level_structure(self):
+        g = make_path(9)
+        ordering = BFSOrder().order(g)
+        # a path from a peripheral root is numbered monotonically
+        assert graph_bandwidth(g, ordering.permutation) == 1
+
+    def test_dfs_on_path_also_optimal(self):
+        g = make_path(9)
+        ordering = DFSOrder().order(g)
+        assert graph_bandwidth(g, ordering.permutation) == 1
+
+    def test_cdfs_sibling_groups_contiguous(self):
+        # star with 4 leaves: the pseudo-peripheral root is a leaf, the
+        # hub follows, and the hub's remaining children come consecutively
+        g = from_edges(5, [(0, i) for i in range(1, 5)])
+        ordering = ChildrenDFSOrder().order(g)
+        seq = list(invert_ordering(ordering.permutation))
+        assert seq[0] != 0  # a leaf starts
+        assert seq[1] == 0  # then the hub
+        assert set(seq[2:]) == {1, 2, 3, 4} - {seq[0]}
+
+    def test_cdfs_close_to_bfs_on_grids(self):
+        g = make_grid(7, 7)
+        cdfs_gap = average_gap(
+            g, ChildrenDFSOrder().order(g).permutation
+        )
+        bfs_gap = average_gap(g, BFSOrder().order(g).permutation)
+        assert cdfs_gap <= 3 * bfs_gap
+
+
+class TestMinLAHelpers:
+    def test_total_gap_path(self):
+        g = make_path(5)
+        assert total_gap(g, np.arange(5)) == 4
+
+    def test_swap_delta_matches_recompute(self):
+        g = random_graph(20, 60, seed=3)
+        rng = np.random.default_rng(1)
+        pi = rng.permutation(20).astype(np.int64)
+        for _ in range(20):
+            u, v = rng.integers(20, size=2)
+            if u == v:
+                continue
+            delta = swap_delta(g, pi, int(u), int(v))
+            swapped = pi.copy()
+            swapped[u], swapped[v] = swapped[v], swapped[u]
+            assert delta == total_gap(g, swapped) - total_gap(g, pi)
+
+
+class TestMinLAAnneal:
+    def test_valid_permutation(self, medium_random):
+        scheme = MinLAAnneal(moves_per_vertex=5)
+        ordering = scheme.order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_never_worse_than_initial(self):
+        g = make_two_cliques(6)
+        initial = NaturalOrder()
+        scheme = MinLAAnneal(initial=initial, moves_per_vertex=20, seed=3)
+        ordering = scheme.order(g)
+        assert total_gap(g, ordering.permutation) <= total_gap(
+            g, initial.order(g).permutation
+        )
+
+    def test_improves_shuffled_path(self):
+        """Annealing must untangle a randomly labelled path noticeably."""
+        from repro.graph import apply_ordering
+        g = make_path(30)
+        rng = np.random.default_rng(5)
+        shuffled = apply_ordering(g, rng.permutation(30).astype(np.int64))
+        scheme = MinLAAnneal(
+            initial=NaturalOrder(), moves_per_vertex=200, seed=2
+        )
+        ordering = scheme.order(shuffled)
+        assert average_gap(shuffled, ordering.permutation) < average_gap(
+            shuffled
+        )
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            MinLAAnneal(moves_per_vertex=0)
+
+    def test_tiny_graph(self):
+        g = from_edges(1, [])
+        ordering = MinLAAnneal().order(g)
+        assert ordering.permutation.size == 1
+
+
+class TestHybridOrder:
+    def test_valid_permutation(self, medium_random):
+        ordering = HybridOrder().order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_communities_stay_contiguous(self):
+        g = make_two_cliques(8)
+        ordering = HybridOrder(across="natural", within="natural").order(g)
+        seq = invert_ordering(ordering.permutation)
+        first_half = set(int(v) for v in seq[:8])
+        assert first_half in ({0, 1, 2, 3, 4, 5, 6, 7},
+                              {8, 9, 10, 11, 12, 13, 14, 15})
+
+    def test_metadata(self):
+        g = make_two_cliques(6)
+        ordering = HybridOrder(across="rcm", within="gorder").order(g)
+        assert ordering.metadata["across"] == "rcm"
+        assert ordering.metadata["within"] == "gorder"
+        assert ordering.metadata["num_communities"] >= 1
+
+    def test_competitive_with_grappolo_rcm(self):
+        """hybrid(rcm, rcm) should match or beat grappolo_rcm on avg gap
+        for modular graphs (it additionally orders within communities)."""
+        from repro.ordering import GrappoloRcmOrder
+        from repro.graph.generators import planted_partition
+        g = planted_partition(6, 15, p_in=0.4, p_out=0.01, seed=9)
+        hybrid_gap = average_gap(
+            g, HybridOrder(across="rcm", within="rcm").order(g).permutation
+        )
+        gr_gap = average_gap(
+            g, GrappoloRcmOrder().order(g).permutation
+        )
+        assert hybrid_gap <= gr_gap * 1.2
+
+    def test_empty_graph(self):
+        g = from_edges(0, [])
+        ordering = HybridOrder().order(g)
+        assert ordering.permutation.size == 0
+
+
+class TestSubgraphView:
+    def test_induced_structure(self, two_cliques):
+        from repro.graph import induced_subgraph
+        view = induced_subgraph(two_cliques, np.asarray([0, 1, 2, 3, 4]))
+        assert view.graph.num_vertices == 5
+        assert view.graph.num_edges == 10  # full 5-clique
+
+    def test_to_global(self, two_cliques):
+        from repro.graph import induced_subgraph
+        view = induced_subgraph(two_cliques, np.asarray([7, 3, 9]))
+        assert list(view.to_global(np.asarray([0, 2]))) == [7, 9]
+
+    def test_duplicate_rejected(self, two_cliques):
+        from repro.graph import induced_subgraph
+        with pytest.raises(ValueError, match="duplicate"):
+            induced_subgraph(two_cliques, np.asarray([1, 1]))
+
+    def test_weights_carried(self):
+        from repro.graph import induced_subgraph
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)],
+                       weights=[2.0, 4.0, 8.0])
+        view = induced_subgraph(g, np.asarray([1, 2, 3]))
+        assert view.graph.is_weighted
+        assert view.graph.total_weight() == 12.0
+
+    def test_weights_dropped_on_request(self):
+        from repro.graph import induced_subgraph
+        g = from_edges(3, [(0, 1)], weights=[5.0])
+        view = induced_subgraph(g, np.asarray([0, 1]),
+                                keep_weights=False)
+        assert not view.graph.is_weighted
+
+
+class TestMultilevelMinLA:
+    def test_valid_permutation(self, medium_random):
+        from repro.ordering import MultilevelMinLA
+        ordering = MultilevelMinLA().order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_base_size_validated(self):
+        from repro.ordering import MultilevelMinLA
+        with pytest.raises(ValueError):
+            MultilevelMinLA(base_size=1)
+
+    def test_beats_random_on_mesh(self):
+        from repro.ordering import MultilevelMinLA
+        g = make_grid(10, 10)
+        rng = np.random.default_rng(0)
+        ml = average_gap(g, MultilevelMinLA().order(g).permutation)
+        rnd = average_gap(g, rng.permutation(100))
+        assert ml < rnd / 3
+
+    def test_competitive_with_rcm_on_mesh(self):
+        from repro.ordering import MultilevelMinLA, RCMOrder
+        g = make_grid(12, 12)
+        ml = average_gap(g, MultilevelMinLA().order(g).permutation)
+        rcm = average_gap(g, RCMOrder().order(g).permutation)
+        assert ml <= rcm * 1.5
+
+    def test_small_graph_direct_solve(self):
+        from repro.ordering import MultilevelMinLA
+        g = make_path(8)
+        ordering = MultilevelMinLA().order(g)
+        assert average_gap(g, ordering.permutation) == 1.0
+
+    def test_disconnected(self):
+        from repro.ordering import MultilevelMinLA
+        g = from_edges(40, [(i, i + 1) for i in range(15)]
+                       + [(i, i + 1) for i in range(20, 35)])
+        ordering = MultilevelMinLA().order(g)
+        assert sorted(ordering.permutation) == list(range(40))
+
+
+class TestAdjacentSwapRefine:
+    def test_never_increases_total_gap(self):
+        from repro.ordering import adjacent_swap_refine, total_gap
+        from tests.conftest import random_graph
+        g = random_graph(50, 150, seed=7)
+        rng = np.random.default_rng(1)
+        pi = rng.permutation(50).astype(np.int64)
+        refined = adjacent_swap_refine(g, pi)
+        assert total_gap(g, refined) <= total_gap(g, pi)
+
+    def test_result_is_permutation(self):
+        from repro.ordering import adjacent_swap_refine
+        from tests.conftest import random_graph
+        g = random_graph(30, 90, seed=8)
+        rng = np.random.default_rng(2)
+        pi = rng.permutation(30).astype(np.int64)
+        refined = adjacent_swap_refine(g, pi)
+        assert sorted(refined) == list(range(30))
+
+    def test_fixes_single_inversion_on_path(self):
+        from repro.ordering import adjacent_swap_refine
+        g = make_path(6)
+        pi = np.asarray([0, 2, 1, 3, 4, 5])  # one adjacent inversion
+        refined = adjacent_swap_refine(g, pi)
+        assert average_gap(g, refined) == 1.0

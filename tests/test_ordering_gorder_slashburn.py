@@ -1,0 +1,107 @@
+"""Unit tests for Gorder and SlashBurn."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, invert_ordering
+from repro.ordering import GorderOrder, SlashBurnOrder, window_gscore
+from tests.conftest import make_clique, make_star, random_graph
+
+
+class TestGorder:
+    def test_valid_permutation(self, medium_random):
+        ordering = GorderOrder().order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_starts_at_max_degree(self, star6):
+        ordering = GorderOrder().order(star6)
+        assert ordering.permutation[0] == 0
+
+    def test_window_parameter_validated(self):
+        with pytest.raises(ValueError):
+            GorderOrder(window=0)
+
+    def test_clique_chain_keeps_cliques_together(self):
+        """Two cliques joined by one edge: Gorder should emit each clique
+        contiguously (its score is maximal inside a clique)."""
+        edges = make_clique(6) + make_clique(6, offset=6) + [(5, 6)]
+        g = from_edges(12, edges)
+        ordering = GorderOrder().order(g)
+        seq = invert_ordering(ordering.permutation)
+        first_clique_positions = [
+            i for i, v in enumerate(seq) if v < 6
+        ]
+        # the first clique occupies one contiguous run
+        lo, hi = min(first_clique_positions), max(first_clique_positions)
+        assert hi - lo == 5
+
+    def test_improves_gscore_over_random(self):
+        g = random_graph(60, 220, seed=4)
+        rng = np.random.default_rng(1)
+        gorder_seq = invert_ordering(GorderOrder().order(g).permutation)
+        random_seq = rng.permutation(60)
+        assert window_gscore(g, gorder_seq) > window_gscore(g, random_seq)
+
+    def test_handles_disconnected(self):
+        g = from_edges(8, [(0, 1), (1, 2), (5, 6)])
+        ordering = GorderOrder().order(g)
+        assert sorted(ordering.permutation) == list(range(8))
+
+    def test_empty_graph(self):
+        g = from_edges(0, [])
+        ordering = GorderOrder().order(g)
+        assert ordering.permutation.size == 0
+
+
+class TestWindowGscore:
+    def test_pair_scoring(self):
+        # triangle 0-1-2: any ordering, window 2: adjacent pairs share one
+        # common neighbour and one edge -> S = 2 per adjacent pair.
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        seq = np.asarray([0, 1, 2])
+        # pairs in window 1: (0,1) and (1,2): each S_n=1, S_s=1 -> total 4
+        assert window_gscore(g, seq, window=1) == 4
+
+    def test_larger_window_scores_more(self):
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        seq = np.asarray([0, 1, 2])
+        assert window_gscore(g, seq, window=2) > window_gscore(
+            g, seq, window=1
+        )
+
+
+class TestSlashBurn:
+    def test_valid_permutation(self, medium_random):
+        ordering = SlashBurnOrder().order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_hubs_get_lowest_ranks(self):
+        """On a star, the hub is slashed first and must get rank 0."""
+        g = from_edges(7, [(0, i) for i in range(1, 7)])
+        ordering = SlashBurnOrder(k_ratio=0.15).order(g)
+        assert ordering.permutation[0] == 0
+
+    def test_k_ratio_validated(self):
+        with pytest.raises(ValueError):
+            SlashBurnOrder(k_ratio=0.0)
+        with pytest.raises(ValueError):
+            SlashBurnOrder(k_ratio=1.5)
+
+    def test_metadata_reports_iterations(self, medium_random):
+        ordering = SlashBurnOrder().order(medium_random)
+        assert ordering.metadata["iterations"] >= 1
+        assert ordering.metadata["k"] >= 1
+
+    def test_hub_and_spoke_decomposition(self):
+        """Two stars bridged: both hubs should precede all leaves."""
+        edges = [(0, i) for i in range(2, 12)]
+        edges += [(1, i) for i in range(12, 22)]
+        edges.append((0, 1))
+        g = from_edges(22, edges)
+        ordering = SlashBurnOrder(k_ratio=0.1).order(g)
+        assert set(np.argsort(ordering.permutation)[:2]) == {0, 1}
+
+    def test_disconnected_input(self):
+        g = from_edges(9, [(0, 1), (1, 2), (4, 5), (7, 8)])
+        ordering = SlashBurnOrder().order(g)
+        assert sorted(ordering.permutation) == list(range(9))

@@ -1,0 +1,170 @@
+"""Unit tests for METIS, Grappolo, Grappolo-RCM, Rabbit, and ND orderings."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, invert_ordering
+from repro.measures import average_gap
+from repro.ordering import (
+    GrappoloOrder,
+    GrappoloRcmOrder,
+    MetisOrder,
+    NestedDissectionOrder,
+    RabbitOrder,
+    community_coarse_graph,
+)
+from tests.conftest import (
+    make_clique,
+    make_grid,
+    make_two_cliques,
+    random_graph,
+)
+
+
+def clique_ring(num_cliques: int = 4, size: int = 6):
+    """Ring of cliques joined by single bridges, then label-shuffled."""
+    edges = []
+    for c in range(num_cliques):
+        edges += make_clique(size, offset=c * size)
+        nxt = ((c + 1) % num_cliques) * size
+        edges.append((c * size, nxt + 1))
+    g = from_edges(num_cliques * size, edges)
+    from repro.graph import apply_ordering
+    rng = np.random.default_rng(13)
+    return apply_ordering(
+        g, rng.permutation(g.num_vertices).astype(np.int64)
+    )
+
+
+class TestMetisOrder:
+    def test_valid_permutation(self, medium_random):
+        ordering = MetisOrder(num_parts=4).order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_parts_are_contiguous(self):
+        g = clique_ring()
+        ordering = MetisOrder(num_parts=4).order(g)
+        assert ordering.metadata["num_parts"] == 4
+
+    def test_num_parts_capped_by_n(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        ordering = MetisOrder(num_parts=64).order(g)
+        assert ordering.metadata["num_parts"] == 3
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError):
+            MetisOrder(num_parts=0)
+        with pytest.raises(ValueError):
+            MetisOrder(part_order="bogus")
+
+    def test_reduces_average_gap_on_modular_graph(self):
+        g = clique_ring(6, 8)
+        ordering = MetisOrder(num_parts=6).order(g)
+        assert average_gap(g, ordering.permutation) < average_gap(g)
+
+    def test_hierarchical_vs_shuffle(self):
+        g = make_grid(12, 12)
+        hier = MetisOrder(num_parts=16, part_order="hierarchical").order(g)
+        shuf = MetisOrder(num_parts=16, part_order="shuffle").order(g)
+        # hierarchical part order keeps adjacent parts adjacent -> lower gap
+        assert average_gap(g, hier.permutation) <= average_gap(
+            g, shuf.permutation
+        )
+
+
+class TestGrappoloOrders:
+    def test_valid_permutation(self, medium_random):
+        for scheme in (GrappoloOrder(), GrappoloRcmOrder()):
+            ordering = scheme.order(medium_random)
+            assert sorted(ordering.permutation) == list(range(120))
+
+    def test_communities_contiguous(self):
+        g = clique_ring(4, 6)
+        ordering = GrappoloOrder().order(g)
+        seq = invert_ordering(ordering.permutation)
+        # each planted clique should occupy a contiguous rank range; check
+        # via the recovered community count and gap reduction
+        assert ordering.metadata["num_communities"] <= 8
+        assert average_gap(g, ordering.permutation) < average_gap(g)
+
+    def test_metadata_reports_modularity(self):
+        g = make_two_cliques(6)
+        ordering = GrappoloOrder().order(g)
+        assert 0.0 <= ordering.metadata["modularity"] <= 1.0
+
+    def test_grappolo_rcm_orders_communities(self):
+        g = clique_ring(6, 6)
+        plain = GrappoloOrder().order(g)
+        with_rcm = GrappoloRcmOrder().order(g)
+        # both find the same communities; RCM ordering of the coarse ring
+        # should not be worse on the average gap
+        assert average_gap(g, with_rcm.permutation) <= average_gap(
+            g, plain.permutation
+        ) * 1.25
+
+
+class TestCommunityCoarseGraph:
+    def test_two_cliques(self):
+        g = make_two_cliques(5)
+        communities = np.asarray([0] * 5 + [1] * 5)
+        coarse = community_coarse_graph(g, communities)
+        assert coarse.num_vertices == 2
+        assert coarse.num_edges == 1
+        assert coarse.total_weight() == 1.0  # one bridge edge
+
+    def test_weights_aggregate(self):
+        g = from_edges(4, [(0, 2), (0, 3), (1, 2)])
+        communities = np.asarray([0, 0, 1, 1])
+        coarse = community_coarse_graph(g, communities)
+        assert coarse.total_weight() == 3.0
+
+
+class TestRabbitOrder:
+    def test_valid_permutation(self, medium_random):
+        ordering = RabbitOrder().order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_merges_on_modular_graph(self):
+        g = clique_ring(4, 6)
+        ordering = RabbitOrder().order(g)
+        assert ordering.metadata["merges"] > 0
+        assert ordering.metadata["num_communities"] < g.num_vertices
+
+    def test_reduces_average_gap(self):
+        g = clique_ring(5, 8)
+        ordering = RabbitOrder().order(g)
+        assert average_gap(g, ordering.permutation) < average_gap(g)
+
+    def test_empty_graph(self):
+        g = from_edges(0, [])
+        ordering = RabbitOrder().order(g)
+        assert ordering.permutation.size == 0
+
+    def test_edgeless_graph(self):
+        g = from_edges(5, [])
+        ordering = RabbitOrder().order(g)
+        assert sorted(ordering.permutation) == list(range(5))
+
+
+class TestNestedDissection:
+    def test_valid_permutation(self, medium_random):
+        ordering = NestedDissectionOrder().order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_leaf_size_validated(self):
+        with pytest.raises(ValueError):
+            NestedDissectionOrder(leaf_size=0)
+
+    def test_separator_gets_highest_ranks(self):
+        """On a dumbbell (two cliques + bridge) the separator endpoints of
+        the first dissection must land at the very end of the order."""
+        g = make_two_cliques(8)  # bridge between 7 and 8
+        ordering = NestedDissectionOrder(leaf_size=4).order(g)
+        seq = invert_ordering(ordering.permutation)
+        # last-ranked vertex should be a bridge endpoint (the separator)
+        assert int(seq[-1]) in (7, 8)
+
+    def test_metadata_depth(self):
+        g = make_grid(8, 8)
+        ordering = NestedDissectionOrder().order(g)
+        assert ordering.metadata["max_depth"] >= 1

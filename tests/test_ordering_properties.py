@@ -1,0 +1,61 @@
+"""Property-based tests: every scheme yields a valid ordering on any graph.
+
+The key library invariant (Section II): an ordering is a bijection of the
+vertex set, and reordering never changes graph structure.  Hypothesis
+drives random graph shapes through all thirteen registered schemes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges, is_valid_ordering
+from repro.measures import gap_measures
+from repro.ordering import available_schemes, get_scheme
+
+graph_strategy = st.builds(
+    lambda n, edges: from_edges(
+        n, [(u % n, v % n) for u, v in edges]
+    ),
+    n=st.integers(2, 24),
+    edges=st.lists(
+        st.tuples(st.integers(0, 23), st.integers(0, 23)),
+        min_size=0,
+        max_size=80,
+    ),
+)
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+class TestSchemeValidity:
+    @given(graph=graph_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_permutation_valid(self, scheme_name, graph):
+        ordering = get_scheme(scheme_name).order(graph)
+        assert is_valid_ordering(
+            ordering.permutation, graph.num_vertices
+        )
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_relabelled_graph_isomorphic(self, scheme_name, graph):
+        ordering = get_scheme(scheme_name).order(graph)
+        relabelled = ordering.apply(graph)
+        assert relabelled.num_edges == graph.num_edges
+        assert sorted(relabelled.degrees()) == sorted(graph.degrees())
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_given_seed(self, scheme_name, graph):
+        a = get_scheme(scheme_name).order(graph)
+        b = get_scheme(scheme_name).order(graph)
+        assert (a.permutation == b.permutation).all()
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_gap_measures_finite(scheme_name, medium_random):
+    ordering = get_scheme(scheme_name).order(medium_random)
+    m = gap_measures(medium_random, ordering.permutation)
+    assert np.isfinite(m.average_gap)
+    assert 0 <= m.bandwidth < medium_random.num_vertices

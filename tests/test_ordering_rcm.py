@@ -1,0 +1,70 @@
+"""Unit tests for Reverse Cuthill-McKee."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.measures import graph_bandwidth
+from repro.ordering import (
+    RCMOrder,
+    cuthill_mckee_sequence,
+    pseudo_peripheral_vertex,
+)
+from tests.conftest import make_cycle, make_grid, make_path, random_graph
+
+
+class TestPseudoPeripheral:
+    def test_path_endpoint(self, path7):
+        root = pseudo_peripheral_vertex(path7, 3)
+        assert root in (0, 6)
+
+    def test_cycle_any_vertex(self, cycle8):
+        # on a vertex-transitive graph any vertex is pseudo-peripheral
+        root = pseudo_peripheral_vertex(cycle8, 2)
+        assert 0 <= root < 8
+
+
+class TestCuthillMckee:
+    def test_covers_all_vertices(self, medium_random):
+        seq = cuthill_mckee_sequence(medium_random)
+        assert sorted(seq) == list(range(120))
+
+    def test_multiple_components(self):
+        g = from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        seq = cuthill_mckee_sequence(g)
+        assert sorted(seq) == list(range(6))
+
+
+class TestRCM:
+    def test_path_bandwidth_one(self):
+        g = make_path(20)
+        ordering = RCMOrder().order(g)
+        assert graph_bandwidth(g, ordering.permutation) == 1
+
+    def test_cycle_bandwidth_two(self, cycle8):
+        ordering = RCMOrder().order(cycle8)
+        assert graph_bandwidth(cycle8, ordering.permutation) == 2
+
+    def test_grid_bandwidth_near_width(self):
+        g = make_grid(6, 10)
+        ordering = RCMOrder().order(g)
+        bw = graph_bandwidth(g, ordering.permutation)
+        # optimal bandwidth of a 6x10 grid is ~6 (the smaller dimension);
+        # RCM should land close.
+        assert bw <= 9
+
+    def test_beats_random_on_structured_graphs(self):
+        g = make_grid(8, 8)
+        rng = np.random.default_rng(0)
+        rcm_bw = graph_bandwidth(g, RCMOrder().order(g).permutation)
+        random_bw = graph_bandwidth(g, rng.permutation(64))
+        assert rcm_bw < random_bw / 2
+
+    def test_valid_on_disconnected(self):
+        g = from_edges(10, [(0, 1), (1, 2), (5, 6), (7, 8)])
+        ordering = RCMOrder().order(g)
+        assert sorted(ordering.permutation) == list(range(10))
+
+    def test_cost_reported(self, medium_random):
+        ordering = RCMOrder().order(medium_random)
+        assert ordering.cost > medium_random.num_vertices

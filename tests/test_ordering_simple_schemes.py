@@ -1,0 +1,164 @@
+"""Unit tests for the baseline and degree/hub-based schemes."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, invert_ordering
+from repro.measures import average_gap
+from repro.ordering import (
+    DegreeSort,
+    HubCluster,
+    HubSort,
+    NaturalOrder,
+    RandomOrder,
+    average_degree_cutoff,
+)
+from tests.conftest import make_star, random_graph
+
+
+class TestNatural:
+    def test_identity(self, path7):
+        ordering = NaturalOrder().order(path7)
+        assert list(ordering.permutation) == list(range(7))
+
+
+class TestRandom:
+    def test_valid_permutation(self, medium_random):
+        ordering = RandomOrder(seed=1).order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_seed_determinism(self, medium_random):
+        a = RandomOrder(seed=5).order(medium_random)
+        b = RandomOrder(seed=5).order(medium_random)
+        assert (a.permutation == b.permutation).all()
+
+    def test_different_seeds_differ(self, medium_random):
+        a = RandomOrder(seed=5).order(medium_random)
+        b = RandomOrder(seed=6).order(medium_random)
+        assert (a.permutation != b.permutation).any()
+
+
+class TestDegreeSort:
+    def test_descending_hubs_first(self, star6):
+        ordering = DegreeSort().order(star6)
+        assert ordering.permutation[0] == 0  # hub gets rank 0
+
+    def test_ascending(self, star6):
+        ordering = DegreeSort(descending=False).order(star6)
+        assert ordering.permutation[0] == 6  # hub gets last rank
+
+    def test_stable_on_ties(self, path7):
+        # interior path vertices all have degree 2; their relative natural
+        # order must be preserved (stable sort).
+        ordering = DegreeSort(descending=False).order(path7)
+        seq = invert_ordering(ordering.permutation)
+        interior = [v for v in seq if 0 < v < 6]
+        assert interior == sorted(interior)
+
+    def test_ranks_by_degree(self, medium_random):
+        ordering = DegreeSort().order(medium_random)
+        seq = invert_ordering(ordering.permutation)
+        degrees = medium_random.degrees()
+        sorted_degrees = [int(degrees[v]) for v in seq]
+        assert sorted_degrees == sorted(sorted_degrees, reverse=True)
+
+
+class TestHubSchemes:
+    def test_average_degree_cutoff(self, star6):
+        assert average_degree_cutoff(star6) == pytest.approx(12 / 7)
+
+    def test_hub_sort_places_hubs_first(self, star6):
+        ordering = HubSort().order(star6)
+        assert ordering.permutation[0] == 0
+        assert ordering.metadata["num_hubs"] == 1
+
+    def test_hub_sort_non_hubs_keep_natural_order(self, medium_random):
+        ordering = HubSort().order(medium_random)
+        seq = invert_ordering(ordering.permutation)
+        cutoff = ordering.metadata["cutoff"]
+        degrees = medium_random.degrees()
+        non_hubs = [v for v in seq if degrees[v] <= cutoff]
+        assert non_hubs == sorted(non_hubs)
+
+    def test_hub_sort_hubs_sorted(self, medium_random):
+        ordering = HubSort().order(medium_random)
+        seq = invert_ordering(ordering.permutation)
+        k = ordering.metadata["num_hubs"]
+        degrees = medium_random.degrees()
+        hub_degrees = [int(degrees[v]) for v in seq[:k]]
+        assert hub_degrees == sorted(hub_degrees, reverse=True)
+
+    def test_hub_cluster_preserves_relative_order_everywhere(
+        self, medium_random
+    ):
+        ordering = HubCluster().order(medium_random)
+        seq = invert_ordering(ordering.permutation)
+        cutoff = ordering.metadata["cutoff"]
+        degrees = medium_random.degrees()
+        hubs = [v for v in seq if degrees[v] > cutoff]
+        non_hubs = [v for v in seq if degrees[v] <= cutoff]
+        assert hubs == sorted(hubs)
+        assert non_hubs == sorted(non_hubs)
+        # hubs strictly before non-hubs
+        assert list(seq[: len(hubs)]) == hubs
+
+    def test_explicit_cutoff(self, medium_random):
+        ordering = HubSort(cutoff=1e9).order(medium_random)
+        assert ordering.metadata["num_hubs"] == 0
+        # with no hubs, the ordering is the identity
+        assert list(ordering.permutation) == list(range(120))
+
+    def test_hub_schemes_ignore_gap_measures(self):
+        """Degree schemes are not designed to reduce the average gap: on a
+        path (already optimal) they can only do worse or equal."""
+        g = from_edges(30, [(i, i + 1) for i in range(29)])
+        natural_gap = average_gap(g)
+        for scheme in (DegreeSort(), HubSort(), HubCluster()):
+            permuted_gap = average_gap(g, scheme.order(g).permutation)
+            assert permuted_gap >= natural_gap
+
+
+class TestDegreeBasedGrouping:
+    def test_valid_permutation(self, medium_random):
+        from repro.ordering import DegreeBasedGrouping
+        ordering = DegreeBasedGrouping().order(medium_random)
+        assert sorted(ordering.permutation) == list(range(120))
+
+    def test_groups_ordered_hot_to_cold(self, medium_random):
+        from repro.ordering import DegreeBasedGrouping
+        ordering = DegreeBasedGrouping().order(medium_random)
+        seq = invert_ordering(ordering.permutation)
+        degrees = medium_random.degrees()
+        groups = [int(np.floor(np.log2(degrees[v] + 1))) for v in seq]
+        assert groups == sorted(groups, reverse=True)
+
+    def test_natural_order_within_groups(self, medium_random):
+        from repro.ordering import DegreeBasedGrouping
+        ordering = DegreeBasedGrouping().order(medium_random)
+        seq = invert_ordering(ordering.permutation)
+        degrees = medium_random.degrees()
+        by_group: dict[int, list[int]] = {}
+        for v in seq:
+            g = int(np.floor(np.log2(degrees[v] + 1)))
+            by_group.setdefault(g, []).append(int(v))
+        for members in by_group.values():
+            assert members == sorted(members)
+
+    def test_metadata_group_count(self, star6):
+        from repro.ordering import DegreeBasedGrouping
+        ordering = DegreeBasedGrouping().order(star6)
+        # degrees 6 and 1 -> groups floor(log2(7))=2 and floor(log2(2))=1
+        assert ordering.metadata["num_groups"] == 3
+
+    def test_preserves_locality_better_than_full_sort(self):
+        """DBG's point: on a graph whose natural order has locality,
+        grouping disturbs it less than a full degree sort."""
+        from repro.graph.generators import watts_strogatz
+        from repro.measures import average_gap
+        from repro.ordering import DegreeBasedGrouping, DegreeSort
+        g = watts_strogatz(400, 6, 0.05, seed=3)
+        dbg_gap = average_gap(
+            g, DegreeBasedGrouping().order(g).permutation
+        )
+        sort_gap = average_gap(g, DegreeSort().order(g).permutation)
+        assert dbg_gap <= sort_gap

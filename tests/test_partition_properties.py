@@ -1,0 +1,110 @@
+"""Property-based tests for the multilevel partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.partition import (
+    bisect,
+    edge_cut,
+    fm_refine,
+    partition_graph,
+    vertex_separator,
+)
+
+
+def build_graph(n, edges):
+    return from_edges(n, [(u % n, v % n) for u, v in edges])
+
+
+graph_strategy = st.builds(
+    build_graph,
+    n=st.integers(4, 40),
+    edges=st.lists(
+        st.tuples(st.integers(0, 39), st.integers(0, 39)),
+        min_size=3,
+        max_size=150,
+    ),
+)
+
+
+class TestBisectProperties:
+    @given(graph=graph_strategy, seed=st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_binary_and_total(self, graph, seed):
+        result = bisect(graph, seed=seed)
+        assert result.assignment.size == graph.num_vertices
+        assert set(np.unique(result.assignment)) <= {0, 1}
+        assert result.cut == edge_cut(graph, result.assignment)
+
+    @given(graph=graph_strategy, seed=st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_balance(self, graph, seed):
+        result = bisect(graph, imbalance=0.1, seed=seed)
+        sizes = result.part_sizes()
+        n = graph.num_vertices
+        if n >= 8:
+            # allow the integer slack inherent to tiny instances
+            assert sizes.max() <= np.ceil(1.15 * n / 2) + 1
+
+    @given(graph=graph_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_cut_bounded_by_total_weight(self, graph):
+        result = bisect(graph, seed=0)
+        assert 0.0 <= result.cut <= graph.total_weight()
+
+
+class TestKWayProperties:
+    @given(
+        graph=graph_strategy,
+        k=st.integers(1, 6),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_part_used_when_possible(self, graph, k, seed):
+        result = partition_graph(graph, k, seed=seed)
+        used = set(np.unique(result.assignment))
+        assert used <= set(range(k))
+        if graph.num_vertices >= k:
+            assert len(used) == k
+
+    @given(graph=graph_strategy, seed=st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_more_parts_never_lower_cut_than_one(self, graph, seed):
+        one = partition_graph(graph, 1, seed=seed)
+        four = partition_graph(graph, 4, seed=seed)
+        assert one.cut == 0.0
+        assert four.cut >= 0.0
+
+
+class TestRefineProperties:
+    @given(graph=graph_strategy, seed=st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_refinement_never_worsens_cut(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        part = rng.integers(2, size=graph.num_vertices)
+        vw = np.ones(graph.num_vertices)
+        before = edge_cut(graph, part)
+        refined = fm_refine(graph, part.copy(), vw)
+        assert edge_cut(graph, refined) <= before + 1e-9
+
+
+class TestSeparatorProperties:
+    @given(graph=graph_strategy, seed=st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_separator_partitions_vertices(self, graph, seed):
+        sep = vertex_separator(graph, seed=seed)
+        all_ids = np.concatenate((sep.left, sep.right, sep.separator))
+        assert sorted(all_ids) == list(range(graph.num_vertices))
+
+    @given(graph=graph_strategy, seed=st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_no_left_right_edges(self, graph, seed):
+        sep = vertex_separator(graph, seed=seed)
+        left = set(int(v) for v in sep.left)
+        right = set(int(v) for v in sep.right)
+        for u in left:
+            for v in graph.neighbors(u):
+                assert int(v) not in right

@@ -1,0 +1,42 @@
+"""The public API surface: imports, __all__ hygiene, end-to-end flow."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.datasets",
+    "repro.measures",
+    "repro.ordering",
+    "repro.partition",
+    "repro.community",
+    "repro.simulator",
+    "repro.apps",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    mod = importlib.import_module(package)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{package}.{name} missing"
+
+
+def test_version():
+    import repro
+    assert repro.__version__
+
+
+def test_quickstart_flow():
+    """The README quickstart, verbatim."""
+    from repro.datasets import load
+    from repro.ordering import get_scheme
+    from repro.measures import gap_measures
+
+    graph = load("chicago_road")
+    ordering = get_scheme("rcm").order(graph)
+    measures = gap_measures(graph, ordering.permutation)
+    assert measures.bandwidth < 50

@@ -1,0 +1,103 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import Cache, CacheConfig
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(1024, 64, 4)
+        assert cfg.num_sets == 4
+        assert cfg.num_lines == 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 64, 4)  # not a multiple
+        with pytest.raises(ValueError):
+            CacheConfig(0, 64, 4)
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 64, 0)
+
+
+class TestCacheBehaviour:
+    @pytest.fixture
+    def tiny(self):
+        """Direct test cache: 2 sets x 2 ways."""
+        return Cache(CacheConfig(4 * 64, 64, 2))
+
+    def test_cold_miss_then_hit(self, tiny):
+        assert tiny.access(0) is False
+        assert tiny.access(0) is True
+        assert tiny.stats.hits == 1
+        assert tiny.stats.misses == 1
+
+    def test_set_mapping(self, tiny):
+        # lines 0 and 2 map to set 0; lines 1 and 3 to set 1
+        tiny.access(0)
+        tiny.access(2)
+        assert tiny.access(0) is True  # still resident (2-way)
+        assert tiny.access(2) is True
+
+    def test_lru_eviction(self, tiny):
+        tiny.access(0)  # set 0
+        tiny.access(2)  # set 0
+        tiny.access(4)  # set 0 -> evicts line 0 (LRU)
+        assert not tiny.contains(0)
+        assert tiny.contains(2)
+        assert tiny.contains(4)
+
+    def test_lru_update_on_hit(self, tiny):
+        tiny.access(0)
+        tiny.access(2)
+        tiny.access(0)  # refresh 0
+        tiny.access(4)  # evicts 2, not 0
+        assert tiny.contains(0)
+        assert not tiny.contains(2)
+
+    def test_flush(self, tiny):
+        tiny.access(0)
+        tiny.flush()
+        assert tiny.occupancy == 0
+        assert tiny.access(0) is False
+
+    def test_reset_stats(self, tiny):
+        tiny.access(0)
+        tiny.reset_stats()
+        assert tiny.stats.accesses == 0
+
+    def test_miss_rate(self, tiny):
+        assert tiny.stats.miss_rate == 0.0
+        tiny.access(0)
+        tiny.access(0)
+        assert tiny.stats.miss_rate == 0.5
+
+
+class TestCacheProperties:
+    @given(lines=st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded(self, lines):
+        cache = Cache(CacheConfig(8 * 64, 64, 2))
+        for line in lines:
+            cache.access(line)
+        assert cache.occupancy <= cache.config.num_lines
+        assert cache.stats.accesses == len(lines)
+
+    @given(lines=st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_working_set_within_capacity_always_hits_after_warmup(
+        self, lines
+    ):
+        """If the distinct working set fits in one fully-assoc cache, the
+        second pass over it is all hits."""
+        distinct = sorted(set(lines))
+        if len(distinct) > 8:
+            distinct = distinct[:8]
+        cache = Cache(CacheConfig(8 * 64, 64, 8))  # fully associative
+        for line in distinct:
+            cache.access(line)
+        cache.reset_stats()
+        for line in distinct:
+            assert cache.access(line) is True

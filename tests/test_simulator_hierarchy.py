@@ -1,0 +1,127 @@
+"""Unit tests for the multi-level hierarchy and counters."""
+
+import pytest
+
+from repro.simulator import (
+    CacheConfig,
+    CounterReport,
+    HierarchyConfig,
+    MemoryHierarchy,
+    report_from_counters,
+)
+
+
+@pytest.fixture
+def small_hierarchy():
+    cfg = HierarchyConfig(
+        l1=CacheConfig(2 * 64, 64, 2),   # 1 set x 2 ways
+        l2=CacheConfig(8 * 64, 64, 2),   # 4 sets x 2 ways
+        l3=CacheConfig(16 * 64, 64, 2),  # 8 sets x 2 ways
+    )
+    return MemoryHierarchy(num_threads=2, config=cfg)
+
+
+class TestHierarchyWalk:
+    def test_first_access_goes_to_dram(self, small_hierarchy):
+        assert small_hierarchy.access(0, 100) == 3
+
+    def test_second_access_hits_l1(self, small_hierarchy):
+        small_hierarchy.access(0, 100)
+        assert small_hierarchy.access(0, 100) == 0
+
+    def test_other_thread_misses_private_hits_shared(self, small_hierarchy):
+        small_hierarchy.access(0, 100)
+        # thread 1 misses its own L1/L2 but finds the line in shared L3
+        assert small_hierarchy.access(1, 100) == 2
+
+    def test_l2_hit_after_l1_eviction(self, small_hierarchy):
+        # fill L1 set of line 0 (2 ways: lines 0, 2, 4 share set 0)
+        small_hierarchy.access(0, 0)
+        small_hierarchy.access(0, 2)
+        small_hierarchy.access(0, 4)  # evicts 0 from L1, still in L2
+        assert small_hierarchy.access(0, 0) == 1
+
+    def test_counters_accumulate(self, small_hierarchy):
+        small_hierarchy.access(0, 0)
+        small_hierarchy.access(0, 0)
+        c = small_hierarchy.counters[0]
+        assert c.loads == 2
+        cfg = small_hierarchy.config
+        assert c.total_latency == cfg.latency_dram + cfg.latency_l1
+        assert c.level_loads == [1, 0, 0, 1]
+
+    def test_merged_counters(self, small_hierarchy):
+        small_hierarchy.access(0, 0)
+        small_hierarchy.access(1, 64)
+        merged = small_hierarchy.merged_counters()
+        assert merged.loads == 2
+
+    def test_flush(self, small_hierarchy):
+        small_hierarchy.access(0, 0)
+        small_hierarchy.flush()
+        assert small_hierarchy.access(0, 0) == 3
+
+    def test_access_address(self, small_hierarchy):
+        small_hierarchy.access_address(0, 6400)
+        assert small_hierarchy.access(0, 100) == 0
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(0)
+
+
+class TestHierarchyConfig:
+    def test_for_scale(self):
+        half = HierarchyConfig.for_scale(0.5)
+        full = HierarchyConfig()
+        assert half.l1.size_bytes <= full.l1.size_bytes
+        assert half.l3.size_bytes <= full.l3.size_bytes
+
+    def test_for_scale_minimum(self):
+        tiny = HierarchyConfig.for_scale(1e-9)
+        assert tiny.l1.num_sets >= 1
+        assert tiny.l1.size_bytes > 0
+
+    def test_latency_of(self):
+        cfg = HierarchyConfig()
+        assert cfg.latency_of(0) == cfg.latency_l1
+        assert cfg.latency_of(3) == cfg.latency_dram
+
+
+class TestCounterReport:
+    def test_report_fractions(self, small_hierarchy):
+        for line in range(20):
+            small_hierarchy.access(0, line)
+        report = report_from_counters(
+            small_hierarchy.merged_counters(), compute_cycles=0
+        )
+        assert report.loads == 20
+        assert sum(report.bound) == pytest.approx(1.0)
+        assert report.dram_bound > 0.9  # all cold misses
+
+    def test_compute_cycles_dilute_boundedness(self, small_hierarchy):
+        small_hierarchy.access(0, 0)
+        no_compute = report_from_counters(
+            small_hierarchy.merged_counters(), compute_cycles=0
+        )
+        heavy_compute = report_from_counters(
+            small_hierarchy.merged_counters(), compute_cycles=100000
+        )
+        assert heavy_compute.dram_bound < no_compute.dram_bound
+
+    def test_empty_report(self):
+        from repro.simulator import ThreadCounters
+        report = report_from_counters(ThreadCounters())
+        assert report.loads == 0
+        assert report.average_latency == 0.0
+
+    def test_format_row(self, small_hierarchy):
+        small_hierarchy.access(0, 0)
+        report = report_from_counters(small_hierarchy.merged_counters())
+        row = report.format_row()
+        assert "%" in row
+
+    def test_as_dict_keys(self, small_hierarchy):
+        small_hierarchy.access(0, 0)
+        d = report_from_counters(small_hierarchy.merged_counters()).as_dict()
+        assert {"loads", "latency", "l1_bound", "dram_bound"} <= set(d)

@@ -1,0 +1,95 @@
+"""Tests for the store/writeback model (write-allocate, dirty evictions)."""
+
+import pytest
+
+from repro.simulator import Cache, CacheConfig, HierarchyConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def tiny():
+    """1 set x 2 ways."""
+    return Cache(CacheConfig(2 * 64, 64, 2))
+
+
+class TestDirtyTracking:
+    def test_clean_eviction_no_writeback(self, tiny):
+        tiny.access(0)
+        tiny.access(2)
+        tiny.access(4)  # evicts clean line 0
+        assert tiny.writebacks == 0
+
+    def test_dirty_eviction_writes_back(self, tiny):
+        tiny.access(0, store=True)
+        tiny.access(2)
+        tiny.access(4)  # evicts dirty line 0
+        assert tiny.writebacks == 1
+
+    def test_dirty_bit_sticks_across_hits(self, tiny):
+        tiny.access(0, store=True)
+        tiny.access(0)  # load hit must not clear dirty
+        tiny.access(2)
+        tiny.access(4)
+        assert tiny.writebacks == 1
+
+    def test_store_hit_marks_dirty(self, tiny):
+        tiny.access(0)  # clean install
+        tiny.access(0, store=True)  # dirty via hit
+        tiny.access(2)
+        tiny.access(4)
+        assert tiny.writebacks == 1
+
+    def test_install_does_not_dirty(self, tiny):
+        tiny.install(0)
+        tiny.access(2)
+        tiny.access(4)
+        assert tiny.writebacks == 0
+
+    def test_install_preserves_dirty(self, tiny):
+        tiny.access(0, store=True)
+        tiny.install(0)  # prefetch of a resident dirty line
+        tiny.access(2)
+        tiny.access(4)
+        assert tiny.writebacks == 1
+
+
+class TestHierarchyStores:
+    def test_store_walks_hierarchy(self):
+        h = MemoryHierarchy(1, HierarchyConfig())
+        level = h.access(0, 100, store=True)
+        assert level == 3  # cold store goes to DRAM (write-allocate)
+        assert h.access(0, 100) == 0  # now resident
+
+    def test_total_writebacks(self):
+        cfg = HierarchyConfig(
+            l1=CacheConfig(2 * 64, 64, 2),
+            l2=CacheConfig(8 * 64, 64, 2),
+            l3=CacheConfig(16 * 64, 64, 2),
+        )
+        h = MemoryHierarchy(1, cfg)
+        # dirty a line, then stream enough conflicting lines through the
+        # single L1 set to force its eviction
+        h.access(0, 0, store=True)
+        h.access(0, 2)
+        h.access(0, 4)
+        assert h.total_writebacks() >= 1
+
+    def test_loads_unaffected_by_store_flag_default(self):
+        a = MemoryHierarchy(1, HierarchyConfig())
+        b = MemoryHierarchy(1, HierarchyConfig())
+        for line in range(50):
+            a.access(0, line)
+            b.access(0, line, store=False)
+        assert (
+            a.merged_counters().average_latency
+            == b.merged_counters().average_latency
+        )
+
+    def test_write_heavy_stream_generates_writebacks(self):
+        h = MemoryHierarchy(1, HierarchyConfig(
+            l1=CacheConfig(4 * 64, 64, 2),
+            l2=CacheConfig(8 * 64, 64, 2),
+            l3=CacheConfig(16 * 64, 64, 2),
+        ))
+        for line in range(200):
+            h.access(0, line, store=True)
+        assert h.total_writebacks() > 50

@@ -1,0 +1,113 @@
+"""Weighted-graph behaviour across the stack.
+
+The paper's preliminaries allow weighted edges; Louvain, the partitioner
+and Rabbit-Order are weight-aware, while degree/traversal schemes operate
+on the structure.  These tests pin the intended semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.community import louvain, modularity
+from repro.graph import from_edges
+from repro.measures import gap_measures
+from repro.ordering import available_schemes, get_scheme
+from repro.partition import bisect, partition_graph
+
+
+@pytest.fixture
+def weighted_two_communities():
+    """Two triangles with heavy internal edges, light bridge."""
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    weights = [5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 0.1]
+    return from_edges(6, edges, weights=weights)
+
+
+class TestWeightedCommunity:
+    def test_louvain_follows_weights(self, weighted_two_communities):
+        result = louvain(weighted_two_communities)
+        c = result.communities
+        assert c[0] == c[1] == c[2]
+        assert c[3] == c[4] == c[5]
+        assert c[0] != c[3]
+
+    def test_weights_flip_communities(self):
+        """Reversing which edges are heavy must reverse the split."""
+        edges = [(0, 1), (2, 3), (0, 2), (1, 3)]
+        heavy_pairs = from_edges(4, edges, weights=[9.0, 9.0, 0.1, 0.1])
+        result = louvain(heavy_pairs)
+        c = result.communities
+        assert c[0] == c[1]
+        assert c[2] == c[3]
+        assert c[0] != c[2]
+
+    def test_modularity_weighted(self, weighted_two_communities):
+        truth = np.asarray([0, 0, 0, 1, 1, 1])
+        q = modularity(weighted_two_communities, truth)
+        # nearly all weight is internal -> Q close to the two-block max 0.5
+        assert q > 0.45
+
+
+class TestWeightedPartition:
+    def test_bisect_cuts_light_edge(self, weighted_two_communities):
+        result = bisect(weighted_two_communities, seed=0)
+        assert result.cut == pytest.approx(0.1)
+
+    def test_kway_respects_weights(self):
+        # chain of 4 heavy triangles connected by light bridges
+        edges = []
+        weights = []
+        for block in range(4):
+            base = block * 3
+            for u, v in [(0, 1), (1, 2), (0, 2)]:
+                edges.append((base + u, base + v))
+                weights.append(10.0)
+            if block < 3:
+                edges.append((base + 2, base + 3))
+                weights.append(0.5)
+        g = from_edges(12, edges, weights=weights)
+        result = partition_graph(g, 4, seed=1)
+        assert result.cut <= 1.5 + 1e-9  # only the three light bridges
+
+
+class TestWeightedOrderings:
+    @pytest.mark.parametrize("scheme_name", available_schemes())
+    def test_every_scheme_handles_weights(
+        self, scheme_name, weighted_two_communities
+    ):
+        ordering = get_scheme(scheme_name).order(weighted_two_communities)
+        assert sorted(ordering.permutation) == list(range(6))
+
+    def test_grappolo_ordering_groups_heavy_communities(
+        self, weighted_two_communities
+    ):
+        ordering = get_scheme("grappolo").order(weighted_two_communities)
+        pi = ordering.permutation
+        ranks_a = sorted(int(pi[v]) for v in (0, 1, 2))
+        ranks_b = sorted(int(pi[v]) for v in (3, 4, 5))
+        # each community occupies a contiguous rank range
+        assert ranks_a == list(range(ranks_a[0], ranks_a[0] + 3))
+        assert ranks_b == list(range(ranks_b[0], ranks_b[0] + 3))
+
+    def test_gap_measures_ignore_weights(self, weighted_two_communities):
+        """Gap measures are defined on structure; weights don't move them."""
+        unweighted = from_edges(
+            6, [(u, v) for u, v in weighted_two_communities.edges()]
+        )
+        assert gap_measures(weighted_two_communities) == gap_measures(
+            unweighted
+        )
+
+
+class TestWeightedRelabelling:
+    def test_weight_total_invariant_under_all_schemes(
+        self, weighted_two_communities
+    ):
+        for scheme_name in ("rcm", "metis", "rabbit", "slashburn"):
+            ordering = get_scheme(scheme_name).order(
+                weighted_two_communities
+            )
+            relabelled = ordering.apply(weighted_two_communities)
+            assert relabelled.total_weight() == pytest.approx(
+                weighted_two_communities.total_weight()
+            )
