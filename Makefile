@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-paper bench-ablations examples clean
+.PHONY: install test bench bench-paper bench-ablations bench-perf \
+	examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +14,9 @@ bench:
 
 bench-paper:
 	python -m repro.bench
+
+bench-perf:
+	PYTHONPATH=src python -m repro.bench.perf --check
 
 bench-ablations:
 	python -m repro.bench ablation_gorder_window ablation_hub_cutoff \

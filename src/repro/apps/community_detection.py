@@ -111,28 +111,65 @@ def build_sweep_items(
     )
     if communities is None:
         communities = np.arange(n, dtype=np.int64)
-    indptr, indices = graph.indptr, graph.indices
-    items: list[WorkItem] = []
-    for v in range(n):
-        start, end = int(indptr[v]), int(indptr[v + 1])
-        lines: list[int] = [layout.line("indptr", v)]
-        seen: set[int] = set()
-        for k in range(start, end):
-            u = int(indices[k])
-            lines.append(layout.line("indices", k))
-            # The ordering-sensitive load: neighbour's community id.
-            lines.append(layout.line("vdata", u))
-            # Map probe for the neighbour's community.
-            c = int(communities[u])
-            lines.append(layout.line("map_region", c % MAP_SLOTS))
-            seen.add(c)
-        # Second pass over the map for gain evaluation: one load per
-        # distinct neighbouring community.
-        for c in sorted(seen):
-            lines.append(layout.line("map_region", c % MAP_SLOTS))
-        compute = VERTEX_COMPUTE_CYCLES + EDGE_COMPUTE_CYCLES * (end - start)
-        items.append(WorkItem(lines=lines, compute_cycles=compute))
-    return items
+    indptr = np.asarray(graph.indptr, dtype=np.int64)
+    indices = np.asarray(graph.indices, dtype=np.int64)
+    comm = np.asarray(communities, dtype=np.int64)
+    m = indices.size
+    deg = indptr[1:] - indptr[:-1]
+    # Per-vertex block: [indptr, (indices_k, vdata_u, map probe)...] plus
+    # a tail probe per *distinct* neighbouring community in ascending
+    # order (== the scalar builder's sorted(set) second pass), built with
+    # whole-array layout conversions instead of per-access line() calls.
+    if m:
+        src = np.repeat(np.arange(n, dtype=np.int64), deg)
+        edge_comm = comm[indices]
+        stride = int(comm.max()) + 1 if comm.size else 1
+        distinct = np.unique(src * stride + edge_comm)
+        tail_src = distinct // stride
+        tail_comm = distinct - tail_src * stride
+        tail_count = np.bincount(tail_src, minlength=n)
+    else:
+        tail_count = np.zeros(n, dtype=np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(1 + 3 * deg + tail_count, out=offsets[1:])
+    flat = np.empty(int(offsets[-1]), dtype=np.int64)
+    flat[offsets[:-1]] = layout.lines(
+        "indptr", np.arange(n, dtype=np.int64)
+    )
+    if m:
+        edge_pos = offsets[src] + 1 + 3 * (
+            np.arange(m, dtype=np.int64) - indptr[src]
+        )
+        flat[edge_pos] = layout.lines(
+            "indices", np.arange(m, dtype=np.int64)
+        )
+        # The ordering-sensitive load: neighbour's community id.
+        flat[edge_pos + 1] = layout.lines("vdata", indices)
+        # Map probe for the neighbour's community.
+        flat[edge_pos + 2] = layout.lines(
+            "map_region", edge_comm % MAP_SLOTS
+        )
+        tail_start = np.zeros(n, dtype=np.int64)
+        np.cumsum(tail_count[:-1], out=tail_start[1:])
+        tail_pos = offsets[tail_src] + 1 + 3 * deg[tail_src] + (
+            np.arange(tail_src.size, dtype=np.int64)
+            - tail_start[tail_src]
+        )
+        flat[tail_pos] = layout.lines(
+            "map_region", tail_comm % MAP_SLOTS
+        )
+    flat.setflags(write=False)
+    off = offsets.tolist()
+    deg_list = deg.tolist()
+    return [
+        WorkItem(
+            lines=flat[off[v]: off[v + 1]],
+            compute_cycles=(
+                VERTEX_COMPUTE_CYCLES + EDGE_COMPUTE_CYCLES * deg_list[v]
+            ),
+        )
+        for v in range(n)
+    ]
 
 
 def _run_colored(

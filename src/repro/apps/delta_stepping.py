@@ -61,6 +61,11 @@ def delta_stepping(
 
     layout = csr_layout(n, graph.num_directed_edges)
     indptr, indices = graph.indptr, graph.indices
+    indptr_lines = layout.lines("indptr", np.arange(n, dtype=np.int64))
+    edge_idx_lines = layout.lines(
+        "indices", np.arange(graph.num_directed_edges, dtype=np.int64)
+    )
+    edge_vdata_lines = layout.lines("vdata", indices)
     items: list[WorkItem] = []
 
     buckets: dict[int, set[int]] = {0: {source}}
@@ -78,17 +83,16 @@ def delta_stepping(
 
     def scan(v: int, light: bool) -> None:
         start, end = int(indptr[v]), int(indptr[v + 1])
-        lines = [layout.line("indptr", v)]
         wts = graph.neighbor_weights(v)
-        for offset, k in enumerate(range(start, end)):
-            u = int(indices[k])
-            w = float(wts[offset])
-            is_light = w <= delta
-            if is_light != light:
-                continue
-            lines.append(layout.line("indices", k))
-            lines.append(layout.line("vdata", u))
-            relax(u, float(dist[v]) + w)
+        selected = np.flatnonzero((wts <= delta) == light)
+        for offset in selected.tolist():
+            u = int(indices[start + offset])
+            relax(u, float(dist[v]) + float(wts[offset]))
+        k_sel = start + selected
+        lines = np.empty(1 + 2 * k_sel.size, dtype=np.int64)
+        lines[0] = indptr_lines[v]
+        lines[1::2] = edge_idx_lines[k_sel]
+        lines[2::2] = edge_vdata_lines[k_sel]
         items.append(WorkItem(
             lines=lines,
             compute_cycles=(

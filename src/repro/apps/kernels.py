@@ -34,6 +34,7 @@ from ..simulator.parallel import (
 )
 from ..simulator.trace import csr_layout
 from .community_detection import CLOCK_HZ
+from .tracegen import SweepBlockTable
 
 __all__ = [
     "pagerank_kernel",
@@ -61,28 +62,16 @@ def _sweep_items(
     """Pull-style sweep trace: per active vertex, read CSR slice and the
     per-vertex data of every neighbour — the canonical kernel loop."""
     layout = csr_layout(graph.num_vertices, graph.num_directed_edges)
-    indptr, indices = graph.indptr, graph.indices
-    items: list[WorkItem] = []
-    vertices = (
-        range(graph.num_vertices) if active is None
-        else np.flatnonzero(active)
+    table = SweepBlockTable(graph, layout)
+    vertices = None if active is None else np.flatnonzero(active)
+    one_round = table.work_items(
+        vertices,
+        vertex_cycles=VERTEX_COMPUTE_CYCLES,
+        edge_cycles=EDGE_COMPUTE_CYCLES,
     )
-    for _ in range(rounds):
-        for v in vertices:
-            v = int(v)
-            start, end = int(indptr[v]), int(indptr[v + 1])
-            lines = [layout.line("indptr", v)]
-            for k in range(start, end):
-                lines.append(layout.line("indices", k))
-                lines.append(layout.line("vdata", int(indices[k])))
-            items.append(WorkItem(
-                lines=lines,
-                compute_cycles=(
-                    VERTEX_COMPUTE_CYCLES
-                    + EDGE_COMPUTE_CYCLES * (end - start)
-                ),
-            ))
-    return items
+    if rounds == 1:
+        return one_round
+    return [item for _ in range(rounds) for item in one_round]
 
 
 def pagerank_kernel(
@@ -128,29 +117,24 @@ def pagerank_push_kernel(
     if n == 0:
         return np.zeros(0), []
     layout = csr_layout(n, graph.num_directed_edges)
+    # push and pull issue the same per-vertex line pattern (the push's
+    # neighbour write is vdata-indexed, like the pull's neighbour read)
+    table = SweepBlockTable(graph, layout)
     ranks = np.full(n, 1.0 / n)
     degrees = np.maximum(graph.degrees(), 1)
-    indptr, indices = graph.indptr, graph.indices
+    indices = graph.indices
+    deg = table.degrees
     items: list[WorkItem] = []
+    one_round = table.work_items(
+        vertex_cycles=VERTEX_COMPUTE_CYCLES,
+        edge_cycles=EDGE_COMPUTE_CYCLES,
+    )
     for _ in range(iterations):
         acc = np.zeros(n)
-        for v in range(n):
-            share = ranks[v] / degrees[v]
-            start, end = int(indptr[v]), int(indptr[v + 1])
-            lines = [layout.line("indptr", v)]
-            for k in range(start, end):
-                u = int(indices[k])
-                acc[u] += share
-                lines.append(layout.line("indices", k))
-                # the push: write to the neighbour's accumulator
-                lines.append(layout.line("vdata", u))
-            items.append(WorkItem(
-                lines=lines,
-                compute_cycles=(
-                    VERTEX_COMPUTE_CYCLES
-                    + EDGE_COMPUTE_CYCLES * (end - start)
-                ),
-            ))
+        # unbuffered per-edge accumulation in CSR order — the same
+        # addition sequence as the scalar push loop
+        np.add.at(acc, indices, np.repeat(ranks / degrees, deg))
+        items.extend(one_round)
         ranks = (1.0 - damping) / n + damping * acc
     return ranks, items
 
@@ -170,11 +154,17 @@ def sssp_kernel(
     dist[source] = 0.0
     active = np.zeros(n, dtype=bool)
     active[source] = True
+    layout = csr_layout(n, graph.num_directed_edges)
+    table = SweepBlockTable(graph, layout)
     items: list[WorkItem] = []
     rounds = 0
     limit = max_rounds if max_rounds is not None else n
     while active.any() and rounds < limit:
-        items.extend(_sweep_items(graph, active=active))
+        items.extend(table.work_items(
+            np.flatnonzero(active),
+            vertex_cycles=VERTEX_COMPUTE_CYCLES,
+            edge_cycles=EDGE_COMPUTE_CYCLES,
+        ))
         nxt = np.zeros(n, dtype=bool)
         for v in np.flatnonzero(active):
             v = int(v)
@@ -199,6 +189,7 @@ def bfs_kernel(
 
     n = graph.num_vertices
     layout = csr_layout(n, graph.num_directed_edges)
+    table = SweepBlockTable(graph, layout)
     dist = np.full(n, -1, dtype=np.int64)
     dist[source] = 0
     queue = deque([source])
@@ -207,16 +198,13 @@ def bfs_kernel(
     while queue:
         v = queue.popleft()
         start, end = int(indptr[v]), int(indptr[v + 1])
-        lines = [layout.line("indptr", v)]
         for k in range(start, end):
             u = int(indices[k])
-            lines.append(layout.line("indices", k))
-            lines.append(layout.line("vdata", u))
             if dist[u] == -1:
                 dist[u] = dist[v] + 1
                 queue.append(u)
         items.append(WorkItem(
-            lines=lines,
+            lines=table.block(v),
             compute_cycles=(
                 VERTEX_COMPUTE_CYCLES
                 + EDGE_COMPUTE_CYCLES * (end - start)
@@ -233,8 +221,9 @@ def connected_components_kernel(
     labels = np.arange(n, dtype=np.int64)
     items: list[WorkItem] = []
     indptr, indices = graph.indptr, graph.indices
+    one_round = _sweep_items(graph)
     for _ in range(max_rounds):
-        items.extend(_sweep_items(graph))
+        items.extend(one_round)
         changed = False
         for v in range(n):
             nbrs = indices[indptr[v]: indptr[v + 1]]
@@ -256,12 +245,16 @@ def triangle_count_kernel(
     n = graph.num_vertices
     layout = csr_layout(n, graph.num_directed_edges)
     indptr, indices = graph.indptr, graph.indices
+    indptr_lines = layout.lines("indptr", np.arange(n, dtype=np.int64))
+    indices_lines = layout.lines(
+        "indices", np.arange(graph.num_directed_edges, dtype=np.int64)
+    )
     total = 0
     items: list[WorkItem] = []
     for u in range(n):
         nbrs_u = indices[indptr[u]: indptr[u + 1]]
         higher_u = nbrs_u[nbrs_u > u]
-        lines = [layout.line("indptr", u)]
+        parts = [indptr_lines[u: u + 1]]
         compute = VERTEX_COMPUTE_CYCLES
         for v in higher_u:
             v = int(v)
@@ -271,11 +264,11 @@ def triangle_count_kernel(
                 higher_u, higher_v, assume_unique=True
             ).size)
             # intersection reads both adjacency spans
-            for k in range(int(indptr[v]), int(indptr[v + 1])):
-                lines.append(layout.line("indices", k))
+            parts.append(indices_lines[int(indptr[v]): int(indptr[v + 1])])
             compute += EDGE_COMPUTE_CYCLES * (
                 higher_u.size + higher_v.size
             )
+        lines = parts[0] if len(parts) == 1 else np.concatenate(parts)
         items.append(WorkItem(lines=lines, compute_cycles=compute))
     return total, items
 
@@ -299,6 +292,7 @@ def betweenness_kernel(
     rng = np.random.default_rng(seed)
     sources = rng.choice(n, size=min(num_sources, n), replace=False)
     layout = csr_layout(n, graph.num_directed_edges)
+    table = SweepBlockTable(graph, layout)
     indptr, indices = graph.indptr, graph.indices
     items: list[WorkItem] = []
     for s in sources:
@@ -314,18 +308,15 @@ def betweenness_kernel(
             v = order[head]
             head += 1
             start, end = int(indptr[v]), int(indptr[v + 1])
-            lines = [layout.line("indptr", v)]
             for k in range(start, end):
                 u = int(indices[k])
-                lines.append(layout.line("indices", k))
-                lines.append(layout.line("vdata", u))
                 if dist[u] == -1:
                     dist[u] = dist[v] + 1
                     order.append(u)
                 if dist[u] == dist[v] + 1:
                     sigma[u] += sigma[v]
             items.append(WorkItem(
-                lines=lines,
+                lines=table.block(v),
                 compute_cycles=(
                     VERTEX_COMPUTE_CYCLES
                     + EDGE_COMPUTE_CYCLES * (end - start)
@@ -335,11 +326,8 @@ def betweenness_kernel(
         delta = np.zeros(n, dtype=np.float64)
         for v in reversed(order):
             start, end = int(indptr[v]), int(indptr[v + 1])
-            lines = [layout.line("indptr", v)]
             for k in range(start, end):
                 u = int(indices[k])
-                lines.append(layout.line("indices", k))
-                lines.append(layout.line("vdata", u))
                 if dist[u] == dist[v] + 1 and sigma[u] > 0:
                     delta[v] += (
                         sigma[v] / sigma[u]
@@ -347,7 +335,7 @@ def betweenness_kernel(
             if v != s:
                 centrality[v] += delta[v]
             items.append(WorkItem(
-                lines=lines,
+                lines=table.block(v),
                 compute_cycles=(
                     VERTEX_COMPUTE_CYCLES
                     + EDGE_COMPUTE_CYCLES * (end - start)

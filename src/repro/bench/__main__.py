@@ -10,12 +10,31 @@ fig9 fig10 fig11 fig12``) plus the ``ablation_*`` and ``ext_*`` studies.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from .ablations import ABLATIONS
 from .experiments import ALL_EXPERIMENTS
 from .extensions import EXTENSIONS
+from .pool import set_default_jobs
+
+
+def _call_with_datasets(func, datasets):
+    """Invoke an experiment, restricting it to ``datasets`` if supported.
+
+    Experiments expose either a ``datasets`` sequence or a single
+    ``dataset`` parameter; ones with neither (fixed-input studies) run
+    unrestricted.
+    """
+    if datasets is None:
+        return func()
+    params = inspect.signature(func).parameters
+    if "datasets" in params:
+        return func(datasets=list(datasets))
+    if "dataset" in params:
+        return func(dataset=datasets[0])
+    return func()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,7 +53,23 @@ def main(argv: list[str] | None = None) -> int:
         "--output", metavar="DIR", default=None,
         help="also save each result as <id>.txt and <id>.json here",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent experiment cells out over N processes",
+    )
+    parser.add_argument(
+        "--datasets", metavar="NAMES", default=None,
+        help="comma-separated dataset subset (smoke runs) for "
+             "experiments that accept one",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    set_default_jobs(args.jobs)
+    datasets = (
+        [d for d in args.datasets.split(",") if d]
+        if args.datasets else None
+    )
 
     ids = args.ids or list(ALL_EXPERIMENTS)
     unknown = [i for i in ids if i not in registry]
@@ -44,7 +79,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for experiment_id in ids:
         start = time.perf_counter()
-        result = registry[experiment_id]()
+        result = _call_with_datasets(registry[experiment_id], datasets)
         elapsed = time.perf_counter() - start
         print(f"== {result.experiment_id}: {result.title} "
               f"({elapsed:.1f}s) ==")

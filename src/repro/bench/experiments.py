@@ -48,8 +48,14 @@ from ..measures.profiles import (
     profile_dominance_score,
 )
 from ..ordering import PAPER_SCHEMES, MetisOrder
+from .pool import map_cells
 from .report import format_profile, format_table
-from .runners import collect_costs, collect_scores, ordering_for
+from .runners import (
+    collect_costs,
+    collect_scores,
+    ordering_for,
+    warm_orderings,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -164,6 +170,34 @@ def _samples_budget(
     return int(np.clip(edge_budget / mean_cost, 100, ceiling))
 
 
+def _cd_cell(cell: tuple[str, str, int]) -> CommunityDetectionReport:
+    """Pool worker: one (dataset, scheme) community-detection cell."""
+    dataset, scheme, threads = cell
+    return run_community_detection(
+        load(dataset), ordering_for(scheme, dataset), num_threads=threads
+    )
+
+
+def _im_cell(
+    cell: tuple[str, str, int, float, int, int]
+) -> InfluenceMaxReport:
+    """Pool worker: one (dataset, scheme) influence-maximization cell."""
+    dataset, scheme, threads, probability, k, budget = cell
+    return run_influence_maximization(
+        load(dataset), ordering_for(scheme, dataset),
+        k=k, probability=probability,
+        num_threads=threads, max_samples=budget,
+    )
+
+
+def _metis_cell(cell: tuple[int, str]) -> float:
+    """Pool worker: one (partition count, dataset) METIS-sweep cell."""
+    num_parts, dataset = cell
+    graph = load(dataset)
+    ordering = MetisOrder(num_parts=num_parts).order(graph)
+    return max(average_gap(graph, ordering.permutation), 1e-9)
+
+
 def _threads_for(dataset: str) -> int:
     """Thread count per input, scaled from the paper's 2/16/32 rule."""
     graph = load(dataset)
@@ -178,7 +212,7 @@ def _threads_for(dataset: str) -> int:
 # ---------------------------------------------------------------------------
 # Table I
 # ---------------------------------------------------------------------------
-def table1() -> ExperimentResult:
+def table1(datasets: Sequence[str] | None = None) -> ExperimentResult:
     """Table I: vertex/edge counts, max degree, degree std (all 34)."""
     headers = [
         "input", "set", "family",
@@ -187,7 +221,11 @@ def table1() -> ExperimentResult:
     ]
     rows: list[list[object]] = []
     data: dict[str, dict[str, float]] = {}
-    for name in small_set() + large_set():
+    names = (
+        list(datasets) if datasets is not None
+        else small_set() + large_set()
+    )
+    for name in names:
         s = spec(name)
         stats = degree_statistics(load(name))
         rows.append([
@@ -235,7 +273,7 @@ def _profile_experiment(
     return result, profile
 
 
-def fig1() -> ExperimentResult:
+def fig1(datasets: Sequence[str] | None = None) -> ExperimentResult:
     """Figure 1: overview profile of the average gap, sampled schemes."""
     schemes = (
         "grappolo", "gorder", "rcm", "degree_sort", "natural", "random",
@@ -244,16 +282,18 @@ def fig1() -> ExperimentResult:
         "fig1",
         "Average-gap performance profile (overview)",
         schemes,
-        small_set(),
+        list(datasets) if datasets is not None else small_set(),
         "avg_gap",
     )
     return result
 
 
-def fig4() -> ExperimentResult:
+def fig4(datasets: Sequence[str] | None = None) -> ExperimentResult:
     """Figure 4: reordering-cost profile (RCM, Degree, Grappolo, METIS)."""
     schemes = ("rcm", "degree_sort", "grappolo", "metis")
-    costs = collect_costs(schemes, large_set())
+    costs = collect_costs(
+        schemes, list(datasets) if datasets is not None else large_set()
+    )
     profile = performance_profile(costs)
     text = format_profile(
         profile, title="Reordering cost profile (operation counts)"
@@ -269,37 +309,37 @@ def fig4() -> ExperimentResult:
     )
 
 
-def fig5() -> ExperimentResult:
+def fig5(datasets: Sequence[str] | None = None) -> ExperimentResult:
     """Figure 5: average-gap profile, all 11 paper schemes, 25 inputs."""
     result, _ = _profile_experiment(
         "fig5",
         "Average gap profile (all schemes)",
         PAPER_SCHEMES,
-        small_set(),
+        list(datasets) if datasets is not None else small_set(),
         "avg_gap",
     )
     return result
 
 
-def fig6a() -> ExperimentResult:
+def fig6a(datasets: Sequence[str] | None = None) -> ExperimentResult:
     """Figure 6a: graph bandwidth profile (RCM expected to dominate)."""
     result, _ = _profile_experiment(
         "fig6a",
         "Graph bandwidth profile",
         PAPER_SCHEMES,
-        small_set(),
+        list(datasets) if datasets is not None else small_set(),
         "bandwidth",
     )
     return result
 
 
-def fig6b() -> ExperimentResult:
+def fig6b(datasets: Sequence[str] | None = None) -> ExperimentResult:
     """Figure 6b: average-bandwidth profile (no clear winner expected)."""
     result, _ = _profile_experiment(
         "fig6b",
         "Average graph bandwidth profile",
         PAPER_SCHEMES,
-        small_set(),
+        list(datasets) if datasets is not None else small_set(),
         "avg_bandwidth",
     )
     return result
@@ -311,17 +351,13 @@ def fig7(
 ) -> ExperimentResult:
     """Figure 7: METIS partition-count sweep on the average gap."""
     names = list(datasets) if datasets is not None else list(small_set())
-    scores: dict[str, dict[str, float]] = {}
-    for k in partition_counts:
-        key = f"metis_{k}"
-        scheme = MetisOrder(num_parts=k)
-        scores[key] = {}
-        for ds in names:
-            graph = load(ds)
-            ordering = scheme.order(graph)
-            scores[key][ds] = max(
-                average_gap(graph, ordering.permutation), 1e-9
-            )
+    cells = [(k, ds) for k in partition_counts for ds in names]
+    values = map_cells(_metis_cell, cells)
+    scores: dict[str, dict[str, float]] = {
+        f"metis_{k}": {} for k in partition_counts
+    }
+    for (k, ds), value in zip(cells, values):
+        scores[f"metis_{k}"][ds] = value
     profile = performance_profile(scores)
     auc = profile_dominance_score(profile, tau_max=40.0)
     best = max(auc, key=auc.get)
@@ -350,6 +386,9 @@ def fig8(datasets: Sequence[str] = FIG8_INPUTS) -> ExperimentResult:
     ]
     rows: list[list[object]] = []
     data: dict[str, dict] = {}
+    warm_orderings(
+        (scheme, ds) for ds in datasets for scheme in PAPER_SCHEMES
+    )
     for ds in datasets:
         graph = load(ds)
         per_scheme: dict[str, float] = {}
@@ -413,25 +452,27 @@ def fig9(
     ]
     rows: list[list[object]] = []
     reports: dict[str, dict[str, CommunityDetectionReport]] = {}
-    for ds in names:
-        graph = load(ds)
-        threads = num_threads if num_threads is not None else _threads_for(ds)
-        reports[ds] = {}
-        for scheme in schemes:
-            ordering = ordering_for(scheme, ds)
-            report = run_community_detection(
-                graph, ordering, num_threads=threads
-            )
-            reports[ds][scheme] = report
-            rows.append([
-                ds, scheme,
-                round(report.phase_seconds * 1e3, 3),
-                round(report.iteration_seconds * 1e3, 3),
-                report.iteration_count,
-                round(report.modularity, 3),
-                round(report.work_fraction * 100.0, 1),
-                round(report.work_per_edge, 2),
-            ])
+    warm_orderings((scheme, ds) for ds in names for scheme in schemes)
+    cells = [
+        (
+            ds,
+            scheme,
+            num_threads if num_threads is not None else _threads_for(ds),
+        )
+        for ds in names
+        for scheme in schemes
+    ]
+    for (ds, scheme, _), report in zip(cells, map_cells(_cd_cell, cells)):
+        reports.setdefault(ds, {})[scheme] = report
+        rows.append([
+            ds, scheme,
+            round(report.phase_seconds * 1e3, 3),
+            round(report.iteration_seconds * 1e3, 3),
+            report.iteration_count,
+            round(report.modularity, 3),
+            round(report.work_fraction * 100.0, 1),
+            round(report.work_per_edge, 2),
+        ])
     text = format_table(
         headers, rows,
         title="Community detection: ordering impact (first phase)",
@@ -455,22 +496,20 @@ def fig10(
     headers = ["graph", "scheme", "latency", "L1%", "L2%", "L3%", "DRAM%"]
     rows: list[list[object]] = []
     reports: dict[str, dict[str, CommunityDetectionReport]] = {}
-    for ds in names:
-        graph = load(ds)
-        threads = _threads_for(ds)
-        reports[ds] = {}
-        for scheme in schemes:
-            ordering = ordering_for(scheme, ds)
-            report = run_community_detection(
-                graph, ordering, num_threads=threads
-            )
-            reports[ds][scheme] = report
-            c = report.counters
-            rows.append([
-                ds, scheme, round(c.average_latency, 1),
-                round(c.l1_bound * 100, 1), round(c.l2_bound * 100, 1),
-                round(c.l3_bound * 100, 1), round(c.dram_bound * 100, 1),
-            ])
+    warm_orderings((scheme, ds) for ds in names for scheme in schemes)
+    cells = [
+        (ds, scheme, _threads_for(ds))
+        for ds in names
+        for scheme in schemes
+    ]
+    for (ds, scheme, _), report in zip(cells, map_cells(_cd_cell, cells)):
+        reports.setdefault(ds, {})[scheme] = report
+        c = report.counters
+        rows.append([
+            ds, scheme, round(c.average_latency, 1),
+            round(c.l1_bound * 100, 1), round(c.l2_bound * 100, 1),
+            round(c.l3_bound * 100, 1), round(c.dram_bound * 100, 1),
+        ])
     text = format_table(
         headers, rows,
         title="Community detection: memory hierarchy counters",
@@ -502,26 +541,26 @@ def fig11(
     ]
     rows: list[list[object]] = []
     reports: dict[str, dict[str, InfluenceMaxReport]] = {}
-    for ds in names:
-        graph = load(ds)
-        threads = _threads_for(ds)
-        budget = min(max_samples, _samples_budget(ds, probability))
-        reports[ds] = {}
-        for scheme in schemes:
-            ordering = ordering_for(scheme, ds)
-            report = run_influence_maximization(
-                graph, ordering,
-                k=k, probability=probability,
-                num_threads=threads, max_samples=budget,
-            )
-            reports[ds][scheme] = report
-            rows.append([
-                ds, scheme,
-                round(report.total_seconds * 1e3, 3),
-                round(report.sampling_throughput / 1e3, 1),
-                report.num_samples,
-                round(report.estimated_spread, 1),
-            ])
+    warm_orderings((scheme, ds) for ds in names for scheme in schemes)
+    budgets = {
+        ds: min(max_samples, _samples_budget(ds, probability))
+        for ds in names
+    }
+    cells = [
+        (ds, scheme, _threads_for(ds), probability, k, budgets[ds])
+        for ds in names
+        for scheme in schemes
+    ]
+    for cell, report in zip(cells, map_cells(_im_cell, cells)):
+        ds, scheme = cell[0], cell[1]
+        reports.setdefault(ds, {})[scheme] = report
+        rows.append([
+            ds, scheme,
+            round(report.total_seconds * 1e3, 3),
+            round(report.sampling_throughput / 1e3, 1),
+            report.num_samples,
+            round(report.estimated_spread, 1),
+        ])
     text = format_table(
         headers, rows,
         title=(
@@ -545,19 +584,18 @@ def fig12(
     max_samples: int = 1500,
 ) -> ExperimentResult:
     """Figure 12: memory counters for the sampling hot-spot (skitter)."""
-    graph = load(dataset)
     threads = _threads_for(dataset)
     budget = min(max_samples, _samples_budget(dataset, probability))
     headers = ["scheme", "latency", "L1%", "L2%", "L3%", "DRAM%"]
     rows: list[list[object]] = []
     reports: dict[str, InfluenceMaxReport] = {}
-    for scheme in schemes:
-        ordering = ordering_for(scheme, dataset)
-        report = run_influence_maximization(
-            graph, ordering,
-            probability=probability,
-            num_threads=threads, max_samples=budget,
-        )
+    warm_orderings((scheme, dataset) for scheme in schemes)
+    cells = [
+        (dataset, scheme, threads, probability, 16, budget)
+        for scheme in schemes
+    ]
+    for cell, report in zip(cells, map_cells(_im_cell, cells)):
+        scheme = cell[1]
         reports[scheme] = report
         c = report.counters
         rows.append([

@@ -20,18 +20,22 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..apps.community_detection import run_community_detection
-from ..apps.kernels import run_kernel_study
+from ..apps.kernels import _sweep_items, run_kernel_study
 from ..datasets.registry import load
 from ..measures.gaps import average_gap
 from ..measures.locality import locality_profile, packing_factor
 from ..ordering import HybridOrder, MinLAAnneal, MultilevelMinLA
+from ..simulator import hit_ratio_curve, lru_stack_distances
 from .experiments import ExperimentResult, _threads_for
 from .report import format_table
-from .runners import ordering_for
+from .runners import ordering_for, relabelled_graph
 
 __all__ = [
     "kernel_study",
+    "cache_capacity_sweep",
     "packing_factor_table",
     "hybrid_engine_sweep",
     "minla_refinement",
@@ -264,11 +268,64 @@ def gap_runtime_correlation(
     )
 
 
+def cache_capacity_sweep(
+    datasets: Sequence[str] = ("livemocha", "youtube"),
+    schemes: Sequence[str] = (
+        "grappolo", "rcm", "natural", "degree_sort"
+    ),
+    capacities_kb: Sequence[int] = (4, 16, 64, 256, 1024),
+) -> ExperimentResult:
+    """Hit ratio at every cache capacity from one reuse-distance pass.
+
+    The batched engine's stack-distance algorithm prices a whole
+    cache-geometry axis with a single sweep over the kernel trace: a
+    fully associative LRU cache of ``C`` lines hits exactly the accesses
+    whose stack distance is below ``C``, so one pass yields the hit
+    ratio at *every* capacity — what per-geometry replay would need
+    ``len(capacities)`` full simulations to produce.  The table shows
+    how much cache each ordering needs before the trace starts hitting,
+    the continuous version of the paper's cache-geometry ablation.
+    """
+    line_bytes = 64
+    caps_lines = [kb * 1024 // line_bytes for kb in capacities_kb]
+    headers = ["graph", "scheme"] + [f"{kb}KB" for kb in capacities_kb]
+    rows: list[list[object]] = []
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for ds in datasets:
+        data[ds] = {}
+        for scheme in schemes:
+            items = _sweep_items(relabelled_graph(scheme, ds))
+            trace = np.concatenate(
+                [np.asarray(item.lines, np.int64) for item in items]
+            )
+            ratios = hit_ratio_curve(
+                lru_stack_distances(trace), caps_lines
+            )
+            data[ds][scheme] = {
+                f"{kb}KB": float(r)
+                for kb, r in zip(capacities_kb, ratios)
+            }
+            rows.append(
+                [ds, scheme] + [round(float(r), 4) for r in ratios]
+            )
+    text = format_table(
+        headers, rows,
+        title="Fully-associative LRU hit ratio vs cache capacity",
+    )
+    return ExperimentResult(
+        "ext_cache_sweep",
+        "Cache-capacity sweep via reuse distances",
+        text,
+        data,
+    )
+
+
 from .scaling import ordering_effect_scaling  # noqa: E402
 
 #: registry for the CLI.
 EXTENSIONS = {
     "ext_kernels": kernel_study,
+    "ext_cache_sweep": cache_capacity_sweep,
     "ext_packing": packing_factor_table,
     "ext_hybrid": hybrid_engine_sweep,
     "ext_minla": minla_refinement,

@@ -1,0 +1,216 @@
+"""Perf-regression harness for the batched trace-replay engine.
+
+Times the Figure-6-style pipeline — build the kernel-sweep trace, replay
+it through the memory hierarchy — both through the per-access reference
+simulator and the batched engine, plus the reuse-distance engine and the
+ordering hot paths.  Results are written to ``BENCH_simulator.json`` at
+the repository root so the speedup that motivated the batched engine is
+pinned in-tree:
+
+* ``--write`` measures and (re)writes the JSON file;
+* ``--check`` measures and fails (exit 1) if the batched replay is no
+  longer bit-identical to the reference or its speedup fell below the
+  floor (``--min-speedup``, default 3x — conservative against machine
+  noise; the committed file records the measured ratio);
+* ``--quick`` uses a small dataset and skips the speedup floor (tiny
+  traces replay through the scalar path by design), keeping the
+  identity check — this is what CI runs.
+
+Usage: ``python -m repro.bench.perf [--write | --check] [--quick]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..apps.kernels import _sweep_items
+from ..datasets.registry import load
+from ..measures.gaps import gap_measures
+from ..ordering.base import get_scheme
+from ..simulator import hit_ratio_curve, lru_stack_distances
+from ..simulator.parallel import (
+    ExecutionResult,
+    SimulatedMachine,
+    static_block_schedule,
+)
+from ..simulator import _native
+
+__all__ = ["measure", "check", "main", "SCHEMA_VERSION", "DEFAULT_PATH"]
+
+SCHEMA_VERSION = 1
+
+#: committed location: repository root, next to ROADMAP.md.
+DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
+
+#: capacity sweep (in lines) priced by the reuse-distance engine.
+SWEEP_CAPACITIES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _replay_identical(a: ExecutionResult, b: ExecutionResult) -> bool:
+    """Exactly the same simulated outcome (cycles, loads, counters)."""
+    return (
+        a.thread_cycles == b.thread_cycles
+        and a.thread_loads == b.thread_loads
+        and a.report == b.report
+    )
+
+
+def measure(
+    dataset: str = "orkut",
+    *,
+    num_threads: int = 8,
+    repeats: int = 3,
+) -> dict:
+    """Time the replay pipeline and ordering hot paths on ``dataset``."""
+    graph = load(dataset)
+    timings: dict[str, float] = {}
+
+    timings["trace_build"], items = _best_of(
+        lambda: _sweep_items(graph), repeats
+    )
+    schedule = static_block_schedule(len(items), num_threads)
+    per_thread = [[items[i] for i in idx] for idx in schedule]
+    num_accesses = int(sum(len(item.lines) for item in items))
+
+    machine = SimulatedMachine(num_threads)
+    timings["replay_reference"], reference = _best_of(
+        lambda: machine.run_reference(per_thread), repeats
+    )
+    timings["replay_batch"], batched = _best_of(
+        lambda: machine.run(per_thread), repeats
+    )
+
+    trace = np.concatenate([np.asarray(i.lines, np.int64) for i in items])
+    timings["reuse_distances"], distances = _best_of(
+        lambda: lru_stack_distances(trace), 1
+    )
+    timings["hit_ratio_curve"], _ = _best_of(
+        lambda: hit_ratio_curve(distances, SWEEP_CAPACITIES), repeats
+    )
+
+    timings["ordering_rcm"], ordering = _best_of(
+        lambda: get_scheme("rcm").order(graph), 1
+    )
+    timings["gap_measures"], _ = _best_of(
+        lambda: gap_measures(graph, ordering.permutation), 1
+    )
+
+    replay_speedup = (
+        timings["replay_reference"] / timings["replay_batch"]
+        if timings["replay_batch"] > 0 else float("inf")
+    )
+    pipeline_before = timings["trace_build"] + timings["replay_reference"]
+    pipeline_after = timings["trace_build"] + timings["replay_batch"]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "dataset": dataset,
+        "num_threads": num_threads,
+        "num_accesses": num_accesses,
+        "native_kernel": _native.build_info(),
+        "timings_s": {k: round(v, 6) for k, v in timings.items()},
+        "speedup": {
+            "replay": round(replay_speedup, 3),
+            "pipeline": round(
+                pipeline_before / pipeline_after
+                if pipeline_after > 0 else float("inf"),
+                3,
+            ),
+        },
+        "checks": {
+            "replay_bit_identical": _replay_identical(reference, batched),
+        },
+    }
+
+
+def check(result: dict, *, min_speedup: float | None = 3.0) -> list[str]:
+    """Regression failures in a measurement (empty list = pass)."""
+    failures: list[str] = []
+    if not result["checks"]["replay_bit_identical"]:
+        failures.append(
+            "batched replay diverged from the per-access reference"
+        )
+    if min_speedup is not None:
+        replay = result["speedup"]["replay"]
+        if replay < min_speedup:
+            failures.append(
+                f"replay speedup {replay:.2f}x fell below the "
+                f"{min_speedup:.1f}x floor"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="Time the batched replay engine; guard its speedup.",
+    )
+    parser.add_argument(
+        "--dataset", default="orkut",
+        help="dataset to trace and replay (default: orkut, the largest "
+             "surrogate)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small dataset, one repeat, no speedup floor (CI smoke)",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help=f"write the measurement to {DEFAULT_PATH.name}",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail if replay identity or the speedup floor regressed",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0, metavar="X",
+        help="replay speedup floor for --check (default: 3.0)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_PATH, metavar="PATH",
+        help="where --write puts the JSON (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="wall-clock repeats per stage, best-of (default: 3)",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = "livemocha" if args.quick else args.dataset
+    repeats = 1 if args.quick else args.repeats
+    result = measure(dataset, repeats=repeats)
+    print(json.dumps(result, indent=2))
+
+    if args.write:
+        args.output.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"[wrote {args.output}]")
+    if args.check or not args.write:
+        floor = None if args.quick else args.min_speedup
+        failures = check(result, min_speedup=floor)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

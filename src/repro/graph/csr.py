@@ -43,7 +43,7 @@ class CSRGraph:
     which is the supported way to create graphs from edge lists).
     """
 
-    __slots__ = ("_indptr", "_indices", "_weights")
+    __slots__ = ("_indptr", "_indices", "_weights", "_edge_array")
 
     def __init__(
         self,
@@ -76,6 +76,7 @@ class CSRGraph:
         self._indptr = indptr
         self._indices = indices
         self._weights = weights
+        self._edge_array: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -163,11 +164,22 @@ class CSRGraph:
                     yield u, int(v)
 
     def edge_array(self) -> np.ndarray:
-        """All undirected edges as an ``(m, 2)`` array with ``u <= v`` rows."""
-        n = self.num_vertices
-        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
-        mask = src <= self._indices
-        return np.column_stack((src[mask], self._indices[mask]))
+        """All undirected edges as an ``(m, 2)`` array with ``u <= v`` rows.
+
+        Memoised (the array is derived from immutable CSR state and
+        several ordering schemes ask for it repeatedly) and returned
+        read-only so cached calls cannot corrupt each other.
+        """
+        if self._edge_array is None:
+            n = self.num_vertices
+            src = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self._indptr)
+            )
+            mask = src <= self._indices
+            edges = np.column_stack((src[mask], self._indices[mask]))
+            edges.setflags(write=False)
+            self._edge_array = edges
+        return self._edge_array
 
     # ------------------------------------------------------------------
     # Dunder protocol

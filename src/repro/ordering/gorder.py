@@ -42,17 +42,22 @@ def window_gscore(
     Used by tests and the window-size ablation; the greedy itself never
     needs the global score.
     """
-    n = sequence.size
-    adj = [set(int(x) for x in graph.neighbors(v)) for v in range(n)]
+    sequence = np.asarray(sequence, dtype=np.int64)
     total = 0
-    for pos in range(n):
-        v = int(sequence[pos])
-        for back in range(1, min(window, pos) + 1):
-            u = int(sequence[pos - back])
-            s_n = 1 if u in adj[v] else 0
-            s_s = len(adj[u] & adj[v])
+    # Only the last ``window`` vertices' neighbour lists are live at any
+    # point, so slice them lazily out of the CSR arrays instead of
+    # materialising set adjacency for every vertex up front.
+    in_window: list[tuple[int, np.ndarray]] = []
+    for v in sequence.tolist():
+        nbr_v = graph.neighbors(v)
+        for u, nbr_u in in_window:
+            s_n = 1 if np.any(nbr_v == u) else 0
+            s_s = np.intersect1d(nbr_u, nbr_v).size
             total += s_n + s_s
-    return total
+        in_window.append((v, nbr_v))
+        if len(in_window) > window:
+            in_window.pop(0)
+    return int(total)
 
 
 class GorderOrder(OrderingScheme):

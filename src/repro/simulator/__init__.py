@@ -1,5 +1,13 @@
 """Trace-driven hardware substrate: caches, hierarchy, parallel machine."""
 
+from .batch import (
+    cache_access_batch,
+    hierarchy_access_batch,
+    hit_ratio_curve,
+    lru_stack_distances,
+    miss_ratio_curve,
+    run_exact_region,
+)
 from .cache import Cache, CacheConfig, CacheStats
 from .counters import CounterReport, report_from_counters
 from .hierarchy import (
@@ -21,6 +29,12 @@ __all__ = [
     "Cache",
     "CacheConfig",
     "CacheStats",
+    "cache_access_batch",
+    "hierarchy_access_batch",
+    "run_exact_region",
+    "lru_stack_distances",
+    "hit_ratio_curve",
+    "miss_ratio_curve",
     "HierarchyConfig",
     "MemoryHierarchy",
     "ThreadCounters",

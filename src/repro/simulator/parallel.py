@@ -124,6 +124,37 @@ class SimulatedMachine:
 
         Threads advance round-robin one item at a time, so L3 accesses of
         different threads interleave — the shared-cache contention model.
+        Replayed by the exact batched engine (bit-identical to
+        :meth:`run_reference`, which keeps the per-access loop for
+        verification); the next-line prefetcher forces the scalar path
+        because its installs couple neighbouring accesses.
+        """
+        if len(per_thread_items) != self.num_threads:
+            raise ValueError("one item list per thread required")
+        if self.config.prefetch_next_line:
+            return self.run_reference(per_thread_items)
+        from .batch import run_exact_region
+
+        hierarchy = MemoryHierarchy(self.num_threads, self.config)
+        cycles, compute = run_exact_region(hierarchy, per_thread_items)
+        merged = hierarchy.merged_counters()
+        report = report_from_counters(merged, sum(compute))
+        return ExecutionResult(
+            num_threads=self.num_threads,
+            thread_cycles=tuple(cycles),
+            thread_loads=tuple(c.loads for c in hierarchy.counters),
+            report=report,
+        )
+
+    def run_reference(
+        self,
+        per_thread_items: Sequence[Iterable[WorkItem]],
+    ) -> ExecutionResult:
+        """Per-access reference replay of :meth:`run` (same results).
+
+        Kept as the ground truth the batched engine is property-tested
+        against, as the fallback when the next-line prefetcher is enabled,
+        and as the baseline the perf-regression harness times.
         """
         if len(per_thread_items) != self.num_threads:
             raise ValueError("one item list per thread required")
@@ -141,7 +172,7 @@ class SimulatedMachine:
                     continue
                 stall = 0
                 for line in item.lines:
-                    level = hierarchy.access(t, line)
+                    level = hierarchy.access(t, int(line))
                     stall += hierarchy.config.latency_of(level)
                 cycles[t] += stall + item.compute_cycles
                 compute[t] += item.compute_cycles
@@ -170,16 +201,21 @@ class SimulatedMachine:
         if chunk < 1:
             raise ValueError("chunk must be positive")
         hierarchy = MemoryHierarchy(self.num_threads, self.config)
+        latency = np.array(
+            [self.config.latency_of(level) for level in range(4)],
+            dtype=np.int64,
+        )
         clocks = [0] * self.num_threads
         compute = [0] * self.num_threads
         pos = 0
+        # Chunk assignment depends on the running clocks, so the schedule
+        # is computed item by item; the replay itself is batched (the
+        # whole globally-sequential item trace in one engine call).
         while pos < len(items):
             t = min(range(self.num_threads), key=lambda x: clocks[x])
             for item in items[pos: pos + chunk]:
-                stall = 0
-                for line in item.lines:
-                    level = hierarchy.access(t, line)
-                    stall += hierarchy.config.latency_of(level)
+                levels = hierarchy.access_batch(t, item.lines)
+                stall = int(latency[levels].sum()) if levels.size else 0
                 clocks[t] += stall + item.compute_cycles
                 compute[t] += item.compute_cycles
             pos += chunk

@@ -69,12 +69,22 @@ class MemoryLayout:
         """Cache line number of ``array[index]``."""
         return self.address(name, index) // self._line_bytes
 
-    def lines(self, name: str, indices: np.ndarray) -> np.ndarray:
-        """Vectorised line numbers for many indices of one array."""
+    def lines_for_batch(self, name: str, indices: np.ndarray) -> np.ndarray:
+        """Cache-line numbers for a whole index stream of one array.
+
+        The vectorised counterpart of :meth:`line`: an entire numpy index
+        stream is converted to line numbers in one shot, which is what the
+        batched replay engines (:mod:`repro.simulator.batch`) and the
+        chunked trace builders in :mod:`repro.apps` consume.
+        """
         base, esz = self._arrays[name]
         return (base + np.asarray(indices, dtype=np.int64) * esz) // (
             self._line_bytes
         )
+
+    def lines(self, name: str, indices: np.ndarray) -> np.ndarray:
+        """Vectorised line numbers for many indices of one array."""
+        return self.lines_for_batch(name, indices)
 
     @property
     def total_bytes(self) -> int:

@@ -27,7 +27,7 @@ class TestRegistries:
         assert all(k.startswith("ablation_") for k in ABLATIONS)
 
     def test_extension_registry(self):
-        assert len(EXTENSIONS) == 6
+        assert len(EXTENSIONS) == 7
         assert all(k.startswith("ext_") for k in EXTENSIONS)
 
 

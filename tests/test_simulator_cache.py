@@ -1,10 +1,12 @@
 """Unit and property tests for the set-associative cache model."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simulator import Cache, CacheConfig
+from repro.simulator.trace import MemoryLayout
 
 
 class TestCacheConfig:
@@ -101,3 +103,84 @@ class TestCacheProperties:
         cache.reset_stats()
         for line in distinct:
             assert cache.access(line) is True
+
+
+class TestCacheEdgeCases:
+    def test_direct_mapped(self):
+        """Associativity 1: every conflicting line evicts immediately."""
+        cache = Cache(CacheConfig(4 * 64, 64, 1))  # 4 sets x 1 way
+        assert cache.access(0) is False
+        assert cache.access(4) is False  # same set as 0 -> evicts it
+        assert not cache.contains(0)
+        assert cache.access(0) is False  # conflict miss again
+        assert cache.access(1) is False  # different set, unaffected
+        assert cache.access(1) is True
+
+    def test_single_set_fully_associative(self):
+        """One set holding every way behaves as pure LRU over all lines."""
+        cache = Cache(CacheConfig(4 * 64, 64, 4))  # 1 set x 4 ways
+        for line in [10, 20, 30, 40]:
+            assert cache.access(line) is False
+        assert cache.occupancy == 4
+        cache.access(50)  # evicts 10, the LRU
+        assert not cache.contains(10)
+        assert all(cache.contains(x) for x in [20, 30, 40, 50])
+
+    def test_eviction_order_under_repeated_conflicts(self):
+        """Conflict misses cycle through victims in strict LRU order."""
+        cache = Cache(CacheConfig(2 * 64, 64, 2))  # 1 set x 2 ways
+        cache.access(0)
+        cache.access(1)
+        victims = []
+        for line in [2, 3, 4, 5]:
+            resident_before = [x for x in [0, 1, 2, 3, 4] if cache.contains(x)]
+            cache.access(line)
+            evicted = [
+                x for x in resident_before if not cache.contains(x)
+            ]
+            victims.extend(evicted)
+        # insertion order 0,1,2,3 is exactly the eviction order
+        assert victims == [0, 1, 2, 3]
+
+    def test_no_aliasing_across_layout_arrays(self):
+        """Distinct MemoryLayout arrays never share a cache line."""
+        layout = MemoryLayout(64)
+        layout.add_array("a", 3, 8)   # 24 bytes, below one line
+        layout.add_array("b", 100, 8)
+        layout.add_array("c", 7, 4)
+        idx = {
+            "a": np.arange(3), "b": np.arange(100), "c": np.arange(7),
+        }
+        owners = {}
+        for name, indices in idx.items():
+            for line in layout.lines(name, indices).tolist():
+                assert owners.setdefault(line, name) == name, (
+                    f"line {line} shared by {owners[line]} and {name}"
+                )
+
+    def test_within_array_lines_shared_by_neighbours(self):
+        """Adjacent 8-byte elements pack eight to a 64-byte line."""
+        layout = MemoryLayout(64)
+        layout.add_array("x", 64, 8)
+        lines = layout.lines("x", np.arange(64))
+        assert np.array_equal(lines, np.repeat(np.unique(lines), 8))
+        # scalar and vectorised resolution agree
+        assert [layout.line("x", i) for i in range(64)] == lines.tolist()
+
+    def test_aliased_arrays_conflict_in_cache(self):
+        """Lines from different arrays still contend for the same sets."""
+        layout = MemoryLayout(64)
+        layout.add_array("a", 8, 8)
+        layout.add_array("b", 8, 8)
+        line_a = int(layout.line("a", 0))
+        # find a line of b mapping to the same set of a tiny cache
+        cache = Cache(CacheConfig(2 * 64, 64, 1))  # 2 sets, direct-mapped
+        num_sets = cache.config.num_sets
+        line_b = next(
+            int(x) for x in layout.lines("b", np.arange(8))
+            if int(x) % num_sets == line_a % num_sets
+        )
+        assert line_a != line_b
+        cache.access(line_a)
+        cache.access(line_b)  # same set -> evicts a's line
+        assert not cache.contains(line_a)
