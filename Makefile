@@ -17,6 +17,7 @@ bench-paper:
 
 bench-perf:
 	PYTHONPATH=src python -m repro.bench.perf --check
+	PYTHONPATH=src python -m repro.bench.perf --orderings --check
 
 bench-ablations:
 	python -m repro.bench ablation_gorder_window ablation_hub_cutoff \

@@ -20,21 +20,24 @@ from .extensions import EXTENSIONS
 from .pool import set_default_jobs
 
 
-def _call_with_datasets(func, datasets):
-    """Invoke an experiment, restricting it to ``datasets`` if supported.
+def _call_restricted(func, datasets, schemes):
+    """Invoke an experiment, restricting its inputs where supported.
 
     Experiments expose either a ``datasets`` sequence or a single
-    ``dataset`` parameter; ones with neither (fixed-input studies) run
-    unrestricted.
+    ``dataset`` parameter, and optionally a ``schemes`` sequence; a
+    filter the experiment does not accept is simply not applied
+    (fixed-input studies run unrestricted).
     """
-    if datasets is None:
-        return func()
+    kwargs = {}
     params = inspect.signature(func).parameters
-    if "datasets" in params:
-        return func(datasets=list(datasets))
-    if "dataset" in params:
-        return func(dataset=datasets[0])
-    return func()
+    if datasets is not None:
+        if "datasets" in params:
+            kwargs["datasets"] = list(datasets)
+        elif "dataset" in params:
+            kwargs["dataset"] = datasets[0]
+    if schemes is not None and "schemes" in params:
+        kwargs["schemes"] = list(schemes)
+    return func(**kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,6 +65,11 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated dataset subset (smoke runs) for "
              "experiments that accept one",
     )
+    parser.add_argument(
+        "--schemes", metavar="NAMES", default=None,
+        help="comma-separated ordering-scheme subset for experiments "
+             "that accept one",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -69,6 +77,10 @@ def main(argv: list[str] | None = None) -> int:
     datasets = (
         [d for d in args.datasets.split(",") if d]
         if args.datasets else None
+    )
+    schemes = (
+        [s for s in args.schemes.split(",") if s]
+        if args.schemes else None
     )
 
     ids = args.ids or list(ALL_EXPERIMENTS)
@@ -79,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for experiment_id in ids:
         start = time.perf_counter()
-        result = _call_with_datasets(registry[experiment_id], datasets)
+        result = _call_restricted(registry[experiment_id], datasets, schemes)
         elapsed = time.perf_counter() - start
         print(f"== {result.experiment_id}: {result.title} "
               f"({elapsed:.1f}s) ==")

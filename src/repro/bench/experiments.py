@@ -273,11 +273,16 @@ def _profile_experiment(
     return result, profile
 
 
-def fig1(datasets: Sequence[str] | None = None) -> ExperimentResult:
+def fig1(
+    datasets: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+) -> ExperimentResult:
     """Figure 1: overview profile of the average gap, sampled schemes."""
-    schemes = (
-        "grappolo", "gorder", "rcm", "degree_sort", "natural", "random",
-    )
+    if schemes is None:
+        schemes = (
+            "grappolo", "gorder", "rcm", "degree_sort", "natural",
+            "random",
+        )
     result, _ = _profile_experiment(
         "fig1",
         "Average-gap performance profile (overview)",
@@ -288,9 +293,13 @@ def fig1(datasets: Sequence[str] | None = None) -> ExperimentResult:
     return result
 
 
-def fig4(datasets: Sequence[str] | None = None) -> ExperimentResult:
+def fig4(
+    datasets: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+) -> ExperimentResult:
     """Figure 4: reordering-cost profile (RCM, Degree, Grappolo, METIS)."""
-    schemes = ("rcm", "degree_sort", "grappolo", "metis")
+    if schemes is None:
+        schemes = ("rcm", "degree_sort", "grappolo", "metis")
     costs = collect_costs(
         schemes, list(datasets) if datasets is not None else large_set()
     )
@@ -309,36 +318,45 @@ def fig4(datasets: Sequence[str] | None = None) -> ExperimentResult:
     )
 
 
-def fig5(datasets: Sequence[str] | None = None) -> ExperimentResult:
+def fig5(
+    datasets: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+) -> ExperimentResult:
     """Figure 5: average-gap profile, all 11 paper schemes, 25 inputs."""
     result, _ = _profile_experiment(
         "fig5",
         "Average gap profile (all schemes)",
-        PAPER_SCHEMES,
+        schemes if schemes is not None else PAPER_SCHEMES,
         list(datasets) if datasets is not None else small_set(),
         "avg_gap",
     )
     return result
 
 
-def fig6a(datasets: Sequence[str] | None = None) -> ExperimentResult:
+def fig6a(
+    datasets: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+) -> ExperimentResult:
     """Figure 6a: graph bandwidth profile (RCM expected to dominate)."""
     result, _ = _profile_experiment(
         "fig6a",
         "Graph bandwidth profile",
-        PAPER_SCHEMES,
+        schemes if schemes is not None else PAPER_SCHEMES,
         list(datasets) if datasets is not None else small_set(),
         "bandwidth",
     )
     return result
 
 
-def fig6b(datasets: Sequence[str] | None = None) -> ExperimentResult:
+def fig6b(
+    datasets: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+) -> ExperimentResult:
     """Figure 6b: average-bandwidth profile (no clear winner expected)."""
     result, _ = _profile_experiment(
         "fig6b",
         "Average graph bandwidth profile",
-        PAPER_SCHEMES,
+        schemes if schemes is not None else PAPER_SCHEMES,
         list(datasets) if datasets is not None else small_set(),
         "avg_bandwidth",
     )

@@ -1,22 +1,30 @@
-"""Perf-regression harness for the batched trace-replay engine.
+"""Perf-regression harness: trace replay and the vectorized orderings.
 
-Times the Figure-6-style pipeline — build the kernel-sweep trace, replay
-it through the memory hierarchy — both through the per-access reference
-simulator and the batched engine, plus the reuse-distance engine and the
-ordering hot paths.  Results are written to ``BENCH_simulator.json`` at
-the repository root so the speedup that motivated the batched engine is
-pinned in-tree:
+Two stages, each pinning a speedup in-tree as a committed JSON file:
 
-* ``--write`` measures and (re)writes the JSON file;
-* ``--check`` measures and fails (exit 1) if the batched replay is no
-  longer bit-identical to the reference or its speedup fell below the
-  floor (``--min-speedup``, default 3x — conservative against machine
-  noise; the committed file records the measured ratio);
-* ``--quick`` uses a small dataset and skips the speedup floor (tiny
-  traces replay through the scalar path by design), keeping the
-  identity check — this is what CI runs.
+**Replay stage** (default) times the Figure-6-style pipeline — build the
+kernel-sweep trace, replay it through the memory hierarchy — through both
+the per-access reference simulator and the batched engine, writing
+``BENCH_simulator.json``.
 
-Usage: ``python -m repro.bench.perf [--write | --check] [--quick]``.
+**Ordering stage** (``--orderings``) times every paper scheme through the
+vector and scalar ordering engines (:mod:`repro.engine`), verifies the
+permutations, costs, and metadata are bit-identical, times a cold/warm
+cycle of the persistent ordering store, and writes
+``BENCH_ordering.json``.
+
+* ``--write`` measures and (re)writes the stage's JSON file;
+* ``--check`` measures and fails (exit 1) if bit-identity broke or a
+  speedup fell below its floor (``--min-speedup`` for replay and the
+  aggregate ordering floor; per-scheme ordering floors are built in —
+  conservative against machine noise, the committed files record the
+  measured ratios);
+* ``--quick`` uses a small dataset and skips the speedup floors (tiny
+  inputs are dominated by fixed overheads), keeping the identity checks
+  — this is what CI runs.
+
+Usage: ``python -m repro.bench.perf [--orderings] [--write | --check]
+[--quick]``.
 """
 
 from __future__ import annotations
@@ -24,16 +32,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
 from ..apps.kernels import _sweep_items
 from ..datasets.registry import load
+from ..engine import use_engine
 from ..measures.gaps import gap_measures
-from ..ordering.base import get_scheme
+from ..ordering import PAPER_SCHEMES
+from ..ordering.base import Ordering, get_scheme
+from ..ordering.store import OrderingStore
 from ..simulator import hit_ratio_curve, lru_stack_distances
 from ..simulator.parallel import (
     ExecutionResult,
@@ -42,15 +54,51 @@ from ..simulator.parallel import (
 )
 from ..simulator import _native
 
-__all__ = ["measure", "check", "main", "SCHEMA_VERSION", "DEFAULT_PATH"]
+__all__ = [
+    "measure",
+    "check",
+    "measure_orderings",
+    "check_orderings",
+    "main",
+    "SCHEMA_VERSION",
+    "DEFAULT_PATH",
+    "ORDERING_PATH",
+    "ORDERING_FLOORS",
+    "ORDERING_AGGREGATE_FLOOR",
+]
 
 SCHEMA_VERSION = 1
 
 #: committed location: repository root, next to ROADMAP.md.
 DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
 
+#: committed ordering-stage results, next to BENCH_simulator.json.
+ORDERING_PATH = Path(__file__).resolve().parents[3] / "BENCH_ordering.json"
+
 #: capacity sweep (in lines) priced by the reuse-distance engine.
 SWEEP_CAPACITIES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+#: per-scheme vector/scalar speedup floors on the largest surrogate —
+#: roughly half the measured ratios, so machine noise does not flake the
+#: check.  Trivial schemes (natural, random, degree_sort) are already
+#: array-based and have no floor.
+ORDERING_FLOORS: dict[str, float] = {
+    "rcm": 2.5,
+    "bfs": 2.5,
+    "dfs": 1.5,
+    "cdfs": 1.5,
+    "slashburn": 1.8,
+    "rabbit": 1.2,
+    "gorder": 1.2,
+    "grappolo": 1.8,
+    "grappolo_rcm": 1.5,
+    "metis": 1.8,
+    "nested_dissection": 1.8,
+}
+
+#: the headline guarantee: summed over all paper schemes, vectorized
+#: ordering construction is at least this much faster than scalar.
+ORDERING_AGGREGATE_FLOOR = 3.0
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -140,6 +188,134 @@ def measure(
     }
 
 
+def _orderings_identical(a: Ordering, b: Ordering) -> bool:
+    """Same permutation, operation count, and metadata."""
+    return (
+        np.array_equal(a.permutation, b.permutation)
+        and a.cost == b.cost
+        and a.metadata == b.metadata
+    )
+
+
+def measure_orderings(
+    dataset: str = "orkut",
+    *,
+    schemes: Iterable[str] | None = None,
+    repeats: int = 1,
+) -> dict:
+    """Time every scheme through both ordering engines on ``dataset``.
+
+    Also runs a cold/warm cycle of the persistent ordering store in a
+    temporary directory, verifying warm hits reproduce the fresh
+    orderings exactly.
+    """
+    graph = load(dataset)
+    scheme_names = list(schemes) if schemes is not None else list(
+        PAPER_SCHEMES
+    )
+    per_scheme: dict[str, dict] = {}
+    vector_total = 0.0
+    scalar_total = 0.0
+    vector_orderings: dict[str, Ordering] = {}
+    for name in scheme_names:
+        instance = get_scheme(name)
+        with use_engine("vector"):
+            t_vec, o_vec = _best_of(
+                lambda s=instance: s.order(graph), repeats
+            )
+        with use_engine("scalar"):
+            t_sca, o_sca = _best_of(
+                lambda s=instance: s.order(graph), repeats
+            )
+        identical = _orderings_identical(o_vec, o_sca)
+        vector_total += t_vec
+        scalar_total += t_sca
+        vector_orderings[name] = o_vec
+        per_scheme[name] = {
+            "vector_s": round(t_vec, 6),
+            "scalar_s": round(t_sca, 6),
+            "speedup": round(
+                t_sca / t_vec if t_vec > 0 else float("inf"), 3
+            ),
+            "identical": identical,
+        }
+
+    # Persistent store: cold fill then warm reload, in a throwaway dir.
+    with tempfile.TemporaryDirectory() as tmp:
+        store = OrderingStore(tmp)
+        start = time.perf_counter()
+        for name in scheme_names:
+            store.get_or_compute(graph, get_scheme(name))
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_identical = True
+        for name in scheme_names:
+            reloaded = store.get_or_compute(graph, get_scheme(name))
+            warm_identical = warm_identical and _orderings_identical(
+                reloaded, vector_orderings[name]
+            )
+        warm_s = time.perf_counter() - start
+        cache = {
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "speedup": round(
+                cold_s / warm_s if warm_s > 0 else float("inf"), 3
+            ),
+            "entries": store.entry_count(),
+            "warm_identical": warm_identical,
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "dataset": dataset,
+        "schemes": per_scheme,
+        "aggregate": {
+            "vector_s": round(vector_total, 6),
+            "scalar_s": round(scalar_total, 6),
+            "speedup": round(
+                scalar_total / vector_total
+                if vector_total > 0 else float("inf"),
+                3,
+            ),
+        },
+        "cache": cache,
+    }
+
+
+def check_orderings(
+    result: dict,
+    *,
+    min_aggregate: float | None = ORDERING_AGGREGATE_FLOOR,
+) -> list[str]:
+    """Regression failures in an ordering measurement (empty = pass)."""
+    failures: list[str] = []
+    for name, entry in result["schemes"].items():
+        if not entry["identical"]:
+            failures.append(
+                f"{name}: vector permutation/cost/metadata diverged "
+                f"from the scalar reference"
+            )
+    if not result["cache"]["warm_identical"]:
+        failures.append(
+            "ordering store warm hits diverged from fresh computes"
+        )
+    if min_aggregate is not None:
+        aggregate = result["aggregate"]["speedup"]
+        if aggregate < min_aggregate:
+            failures.append(
+                f"aggregate ordering speedup {aggregate:.2f}x fell "
+                f"below the {min_aggregate:.1f}x floor"
+            )
+        for name, entry in result["schemes"].items():
+            floor = ORDERING_FLOORS.get(name)
+            if floor is not None and entry["speedup"] < floor:
+                failures.append(
+                    f"{name}: speedup {entry['speedup']:.2f}x fell "
+                    f"below its {floor:.1f}x floor"
+                )
+    return failures
+
+
 def check(result: dict, *, min_speedup: float | None = 3.0) -> list[str]:
     """Regression failures in a measurement (empty list = pass)."""
     failures: list[str] = []
@@ -169,6 +345,16 @@ def main(argv: list[str] | None = None) -> int:
              "surrogate)",
     )
     parser.add_argument(
+        "--orderings", action="store_true",
+        help="run the ordering stage (vector vs scalar engines + store "
+             "cycle) instead of trace replay",
+    )
+    parser.add_argument(
+        "--schemes", metavar="A,B,...",
+        help="ordering stage only: comma-separated scheme subset "
+             "(default: the 11 paper schemes)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="small dataset, one repeat, no speedup floor (CI smoke)",
     )
@@ -196,15 +382,28 @@ def main(argv: list[str] | None = None) -> int:
 
     dataset = "livemocha" if args.quick else args.dataset
     repeats = 1 if args.quick else args.repeats
-    result = measure(dataset, repeats=repeats)
+    if args.orderings:
+        schemes = args.schemes.split(",") if args.schemes else None
+        result = measure_orderings(
+            dataset, schemes=schemes, repeats=repeats
+        )
+    else:
+        result = measure(dataset, repeats=repeats)
     print(json.dumps(result, indent=2))
 
     if args.write:
-        args.output.write_text(json.dumps(result, indent=2) + "\n")
-        print(f"[wrote {args.output}]")
+        output = args.output
+        if args.orderings and output == DEFAULT_PATH:
+            output = ORDERING_PATH
+        output.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"[wrote {output}]")
     if args.check or not args.write:
-        floor = None if args.quick else args.min_speedup
-        failures = check(result, min_speedup=floor)
+        if args.orderings:
+            floor = None if args.quick else ORDERING_AGGREGATE_FLOOR
+            failures = check_orderings(result, min_aggregate=floor)
+        else:
+            floor = None if args.quick else args.min_speedup
+            failures = check(result, min_speedup=floor)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:

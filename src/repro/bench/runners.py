@@ -22,6 +22,7 @@ from ..datasets.registry import load
 from ..graph.csr import CSRGraph
 from ..measures.gaps import GapMeasures, gap_measures
 from ..ordering.base import Ordering, get_scheme
+from ..ordering.store import default_store
 from .pool import map_cells
 
 __all__ = [
@@ -38,11 +39,23 @@ _measures_cache: dict[tuple[str, str], GapMeasures] = {}
 
 
 def ordering_for(scheme: str, dataset: str) -> Ordering:
-    """The (memoised) ordering of ``scheme`` on ``dataset``."""
+    """The (memoised) ordering of ``scheme`` on ``dataset``.
+
+    Misses in the in-process memo fall through to the persistent
+    content-addressed store (:mod:`repro.ordering.store`), so repeated
+    runs — and pool workers, which call this in their own process — skip
+    recomputation entirely once an entry exists on disk.
+    """
     key = (scheme, dataset)
     ordering = _ordering_cache.get(key)
     if ordering is None:
-        ordering = get_scheme(scheme).order(load(dataset))
+        graph = load(dataset)
+        instance = get_scheme(scheme)
+        store = default_store()
+        if store is not None:
+            ordering = store.get_or_compute(graph, instance)
+        else:
+            ordering = instance.order(graph)
         _ordering_cache[key] = ordering
     return ordering
 

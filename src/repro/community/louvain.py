@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.builder import GraphBuilder
 from ..graph.csr import CSRGraph
 from .modularity import modularity_with_loops, weighted_degrees
@@ -101,11 +102,83 @@ class _LouvainState:
         self.total = graph.total_weight() + float(self_loops.sum())
         self.community = np.arange(n, dtype=np.int64)
         self.comm_tot = self.k.copy()
+        # Vector-engine scratch: adjacency as native lists, built lazily.
+        self._adj: list[list[int]] | None = None
+        self._adj_w: list[list[float]] | None = None
 
     def sweep(
         self, order: np.ndarray
     ) -> tuple[int, int, int]:
-        """One full vertex sweep; returns (moves, comms_scanned, edges)."""
+        """One full vertex sweep; returns (moves, comms_scanned, edges).
+
+        The vector engine runs the same greedy on native Python containers
+        (one bulk CSR conversion, cached across sweeps); Python float and
+        numpy float64 arithmetic are the same IEEE operations, so moves,
+        gains, and community totals are bit-identical to the scalar loop.
+        """
+        if resolve_engine() == "scalar":
+            return self._sweep_scalar(order)
+        if self.total == 0:
+            return 0, 0, 0
+        graph = self.graph
+        n = graph.num_vertices
+        if self._adj is None:
+            indptr = graph.indptr.tolist()
+            flat = graph.indices.tolist()
+            self._adj = [
+                flat[indptr[v]: indptr[v + 1]] for v in range(n)
+            ]
+            flat_w = (
+                graph.weights.tolist()
+                if graph.weights is not None
+                else [1.0] * len(flat)
+            )
+            self._adj_w = [
+                flat_w[indptr[v]: indptr[v + 1]] for v in range(n)
+            ]
+        adj, adj_w = self._adj, self._adj_w
+        community = self.community.tolist()
+        comm_tot = self.comm_tot.tolist()
+        k = self.k.tolist()
+        m = self.total
+        moves = 0
+        comms_scanned = 0
+        edges_scanned = 0
+        for v in order.tolist():
+            cv = community[v]
+            nbrs = adj[v]
+            edges_scanned += len(nbrs)
+            # Weight from v to each neighbouring community.
+            link: dict[int, float] = {cv: 0.0}
+            for u, w in zip(nbrs, adj_w[v]):
+                cu = community[u]
+                link[cu] = link.get(cu, 0.0) + w
+            comms_scanned += len(link)
+            # Remove v from its community.
+            kv = k[v]
+            comm_tot[cv] -= kv
+            base = link[cv] - comm_tot[cv] * kv / (2.0 * m)
+            best_c, best_gain = cv, 0.0
+            for c, w_vc in link.items():
+                if c == cv:
+                    continue
+                gain = (w_vc - comm_tot[c] * kv / (2.0 * m)) - base
+                if gain > best_gain + 1e-15 or (
+                    abs(gain - best_gain) <= 1e-15 and c < best_c
+                ):
+                    best_c, best_gain = c, gain
+            community[v] = best_c
+            comm_tot[best_c] += kv
+            if best_c != cv:
+                moves += 1
+        self.community = np.asarray(community, dtype=np.int64)
+        self.comm_tot = np.asarray(comm_tot, dtype=np.float64)
+        return moves, comms_scanned, edges_scanned
+
+    def _sweep_scalar(
+        self, order: np.ndarray
+    ) -> tuple[int, int, int]:
+        """Scalar reference for :meth:`sweep` (per-edge numpy loop)."""
         graph = self.graph
         community = self.community
         comm_tot = self.comm_tot
@@ -167,12 +240,54 @@ def compact_graph(
     """
     communities = _renumber(communities)
     num_coarse = int(communities.max()) + 1 if communities.size else 0
+    indptr, indices = graph.indptr, graph.indices
+    weights = graph.weights
+
+    if resolve_engine() != "scalar":
+        # Vector path: one pass of array ops.  All accumulations go through
+        # np.bincount, which sums its input sequentially — member
+        # self-loops first (vertex order), then intra-community edges in
+        # scan order — exactly the scalar accumulation order.
+        n = graph.num_vertices
+        srcs = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(indptr)
+        )
+        upper = indices >= srcs
+        uu, vv = srcs[upper], indices[upper]
+        w_up = (
+            weights[upper]
+            if weights is not None
+            else np.ones(uu.size, dtype=np.float64)
+        )
+        cu, cv = communities[uu], communities[vv]
+        same = cu == cv
+        coarse_loops = np.bincount(
+            np.concatenate((communities, cu[same])),
+            weights=np.concatenate((self_loops, w_up[same])),
+            minlength=num_coarse,
+        ).astype(np.float64)
+        if num_coarse and coarse_loops.size < num_coarse:
+            coarse_loops = np.pad(
+                coarse_loops, (0, num_coarse - coarse_loops.size)
+            )
+        diff = ~same
+        lo = np.minimum(cu[diff], cv[diff])
+        hi = np.maximum(cu[diff], cv[diff])
+        key = lo * np.int64(max(num_coarse, 1)) + hi
+        uniq, inverse = np.unique(key, return_inverse=True)
+        merged = np.bincount(
+            inverse, weights=w_up[diff], minlength=uniq.size
+        )
+        builder = GraphBuilder(num_coarse)
+        builder.add_edge_array(
+            uniq // max(num_coarse, 1), uniq % max(num_coarse, 1), merged
+        )
+        return builder.build(weighted=True), coarse_loops
+
     coarse_loops = np.zeros(num_coarse, dtype=np.float64)
     np.add.at(coarse_loops, communities, self_loops)
 
     edge_acc: dict[tuple[int, int], float] = {}
-    indptr, indices = graph.indptr, graph.indices
-    weights = graph.weights
     for u in range(graph.num_vertices):
         cu = int(communities[u])
         for idx in range(indptr[u], indptr[u + 1]):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 
 __all__ = [
@@ -29,26 +30,55 @@ __all__ = [
 
 
 def weighted_degrees(graph: CSRGraph) -> np.ndarray:
-    """Weighted degree of every vertex (plain degree when unweighted)."""
+    """Weighted degree of every vertex (plain degree when unweighted).
+
+    Memoised per graph: Louvain evaluates modularity after every sweep and
+    this array never changes for a given (immutable) graph.
+    """
     if graph.weights is None:
         return graph.degrees().astype(np.float64)
+    cached = graph._weighted_degrees
+    if cached is not None:
+        return cached
     n = graph.num_vertices
     degrees = np.zeros(n, dtype=np.float64)
     indptr = graph.indptr
     for v in range(n):
         degrees[v] = graph.weights[indptr[v]: indptr[v + 1]].sum()
+    degrees.setflags(write=False)
+    graph._weighted_degrees = degrees
     return degrees
 
 
 def community_internal_weights(
     graph: CSRGraph, communities: np.ndarray
 ) -> np.ndarray:
-    """Intra-community edge weight ``w_in(c)`` for every community."""
+    """Intra-community edge weight ``w_in(c)`` for every community.
+
+    The vector engine replaces the per-edge loop with one masked
+    ``np.bincount``.  ``bincount`` accumulates its input sequentially, so
+    each community's weights are summed in the same (edge-scan) order as
+    the scalar loop — the result is bit-identical.
+    """
     communities = np.asarray(communities, dtype=np.int64)
     num_comms = int(communities.max()) + 1 if communities.size else 0
-    w_in = np.zeros(num_comms, dtype=np.float64)
     indptr, indices = graph.indptr, graph.indices
     weights = graph.weights
+    if resolve_engine() != "scalar":
+        srcs = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), np.diff(indptr)
+        )
+        intra = (indices > srcs) & (
+            communities[indices] == communities[srcs]
+        )
+        ids = communities[srcs[intra]]
+        if weights is None:
+            counts = np.bincount(ids, minlength=num_comms)
+            return counts.astype(np.float64)
+        return np.bincount(
+            ids, weights=weights[intra], minlength=num_comms
+        ).astype(np.float64)
+    w_in = np.zeros(num_comms, dtype=np.float64)
     for u in range(graph.num_vertices):
         cu = communities[u]
         for k in range(indptr[u], indptr[u + 1]):

@@ -1,0 +1,118 @@
+"""Engine selection for the vectorized ordering/partition hot paths.
+
+Mirroring the batched trace-replay engine of :mod:`repro.simulator.batch`,
+every expensive ordering construction keeps **two** implementations:
+
+* a *scalar* reference — the original per-vertex/per-edge Python loops,
+  kept as ground truth and exercised by the equivalence tests;
+* a *vector* engine — numpy frontier-at-a-time traversals and array-based
+  aggregation, required to be **bit-identical** to the scalar path: same
+  permutation, same operation counts, same metadata.
+
+The active engine is resolved per call:
+
+1. an explicit ``engine=`` argument wins,
+2. then a :func:`use_engine` context override (what the equivalence tests
+   and the perf harness use),
+3. then the ``REPRO_ORDERING_ENGINE`` environment variable,
+4. then the default, ``"vector"``.
+
+The module also hosts :func:`gather_neighbors`, the multi-range CSR gather
+primitive shared by every frontier-at-a-time traversal.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
+    "use_engine",
+    "gather_ranges",
+    "gather_neighbors",
+]
+
+ENGINES = ("vector", "scalar")
+DEFAULT_ENGINE = "vector"
+
+#: context override installed by :func:`use_engine` (None = no override).
+_override: str | None = None
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """The engine a hot path should run: explicit > context > env > default."""
+    if engine is None:
+        engine = (
+            _override
+            if _override is not None
+            else os.environ.get("REPRO_ORDERING_ENGINE", DEFAULT_ENGINE)
+        )
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+@contextmanager
+def use_engine(engine: str) -> Iterator[None]:
+    """Force ``engine`` for every hot path in the ``with`` block.
+
+    Nested contexts stack; an explicit ``engine=`` argument still wins.
+    """
+    global _override
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    previous = _override
+    _override = engine
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def gather_ranges(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``values[starts[i]:ends[i]]`` for all ``i``, vectorized.
+
+    The workhorse of frontier-at-a-time traversal: one call replaces a
+    Python loop over per-vertex adjacency slices.
+    """
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=values.dtype)
+    # Global positions: for each range, starts[i] + (0 .. counts[i]-1).
+    offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    positions = np.arange(total, dtype=np.int64) + offsets
+    return values[positions]
+
+
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All neighbours of ``frontier`` vertices plus their frontier slots.
+
+    Returns ``(targets, slots)`` where ``targets`` concatenates the CSR
+    neighbour lists of the frontier vertices in frontier order and
+    ``slots[j]`` is the position *within the frontier* of the vertex that
+    contributed ``targets[j]``.  ``slots`` is what lets level-synchronous
+    BFS reproduce the scalar queue's per-parent visit order exactly.
+    """
+    starts = indptr[frontier]
+    ends = indptr[frontier + 1]
+    counts = ends - starts
+    targets = gather_ranges(indices, starts, ends)
+    slots = np.repeat(
+        np.arange(frontier.size, dtype=np.int64), counts
+    )
+    return targets, slots

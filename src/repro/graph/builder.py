@@ -73,6 +73,40 @@ class GraphBuilder:
         for u, v in edges:
             self.add_edge(int(u), int(v))
 
+    def add_edge_array(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Record many edges from aligned arrays in one bulk append.
+
+        Equivalent to calling :meth:`add_edge` for each position in turn,
+        but with vectorised validation and list extension.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src and dst must be aligned 1-d arrays")
+        if src.size == 0:
+            return
+        n = self._num_vertices
+        lo = min(int(src.min()), int(dst.min()))
+        hi = max(int(src.max()), int(dst.max()))
+        if lo < 0 or hi >= n:
+            raise ValueError(f"edge endpoints out of range for n={n}")
+        self._src.extend(src.tolist())
+        self._dst.extend(dst.tolist())
+        if weights is None:
+            self._wgt.extend([1.0] * src.size)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != src.shape:
+                raise ValueError("weights must align with src/dst")
+            self._wgt.extend(weights.tolist())
+            if np.any(weights != 1.0):
+                self._weighted = True
+
     def build(self, weighted: bool | None = None) -> CSRGraph:
         """Finalise the canonical undirected CSR graph.
 

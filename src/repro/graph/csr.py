@@ -14,6 +14,7 @@ gaps are differences of ranks.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Tuple
 
 import numpy as np
@@ -43,7 +44,10 @@ class CSRGraph:
     which is the supported way to create graphs from edge lists).
     """
 
-    __slots__ = ("_indptr", "_indices", "_weights", "_edge_array")
+    __slots__ = (
+        "_indptr", "_indices", "_weights", "_edge_array",
+        "_degrees", "_weighted_degrees", "_content_hash",
+    )
 
     def __init__(
         self,
@@ -77,6 +81,9 @@ class CSRGraph:
         self._indices = indices
         self._weights = weights
         self._edge_array: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
+        self._weighted_degrees: np.ndarray | None = None
+        self._content_hash: str | None = None
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -121,8 +128,40 @@ class CSRGraph:
         return int(self._indptr[v + 1] - self._indptr[v])
 
     def degrees(self) -> np.ndarray:
-        """Array of all vertex degrees."""
-        return np.diff(self._indptr)
+        """Array of all vertex degrees.
+
+        Memoised (derived from immutable CSR state; the George–Liu
+        pseudo-peripheral finder and every frontier traversal ask for it
+        repeatedly) and returned read-only so cached calls cannot corrupt
+        each other.
+        """
+        if self._degrees is None:
+            degrees = np.diff(self._indptr)
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return self._degrees
+
+    def content_hash(self) -> str:
+        """A hex digest identifying the graph's exact CSR content.
+
+        Hashes ``indptr``, ``indices`` and (when present) ``weights``
+        byte-for-byte, so two graphs share a hash exactly when ``==``
+        holds up to float equality of weights.  This is the graph half of
+        the persistent ordering cache key
+        (:mod:`repro.ordering.store`); memoised because the arrays are
+        immutable.
+        """
+        if self._content_hash is None:
+            digest = hashlib.sha256()
+            digest.update(b"csr-v1")
+            digest.update(np.int64(self.num_vertices).tobytes())
+            digest.update(self._indptr.tobytes())
+            digest.update(self._indices.tobytes())
+            if self._weights is not None:
+                digest.update(b"weighted")
+                digest.update(self._weights.tobytes())
+            self._content_hash = digest.hexdigest()
+        return self._content_hash
 
     def neighbors(self, v: int) -> np.ndarray:
         """Neighbours of vertex ``v`` as an array view."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import gather_ranges, resolve_engine
 from .builder import GraphBuilder
 from .csr import CSRGraph
 
@@ -51,6 +52,36 @@ def induced_subgraph(
         Carry edge weights into the subgraph when the parent is weighted.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
+    weighted = keep_weights and graph.is_weighted
+    if resolve_engine() != "scalar":
+        # Vector path: a global->local lookup array plus one mask over the
+        # flat adjacency.  Each undirected edge appears once (j > i) with
+        # a unique key, so the builder canonicalisation yields the same
+        # CSR as the scalar per-edge insertion.
+        uniq = np.unique(vertices)
+        if uniq.size != vertices.size:
+            counts = np.bincount(
+                np.searchsorted(uniq, vertices), minlength=uniq.size
+            )
+            dup = int(uniq[np.argmax(counts > 1)])
+            raise ValueError(f"duplicate vertex id {dup}")
+        local = np.full(graph.num_vertices, -1, dtype=np.int64)
+        local[vertices] = np.arange(vertices.size, dtype=np.int64)
+        ends = graph.indptr[1:][vertices]
+        starts = graph.indptr[:-1][vertices]
+        nbr_local = local[gather_ranges(graph.indices, starts, ends)]
+        src_local = np.repeat(
+            np.arange(vertices.size, dtype=np.int64), ends - starts
+        )
+        keep = (nbr_local != -1) & (nbr_local > src_local)
+        builder = GraphBuilder(vertices.size)
+        if weighted:
+            w = gather_ranges(graph.weights, starts, ends)[keep]
+            builder.add_edge_array(src_local[keep], nbr_local[keep], w)
+        else:
+            builder.add_edge_array(src_local[keep], nbr_local[keep])
+        sub = builder.build(weighted=weighted)
+        return SubgraphView(sub, vertices.copy())
     local_of: dict[int, int] = {}
     for i, v in enumerate(vertices):
         v = int(v)
@@ -58,7 +89,6 @@ def induced_subgraph(
             raise ValueError(f"duplicate vertex id {v}")
         local_of[v] = i
     builder = GraphBuilder(vertices.size)
-    weighted = keep_weights and graph.is_weighted
     for i, v in enumerate(vertices):
         v = int(v)
         nbrs = graph.neighbors(v)

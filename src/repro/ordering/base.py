@@ -63,6 +63,21 @@ class OperationCounter:
         if n > 1:
             self.compare_ops += int(n * np.log2(n))
 
+    def count_sort_batch(self, sizes: np.ndarray) -> None:
+        """Record many sorts at once: sum of ``int(n log2 n)`` over sizes.
+
+        The batched engines account a whole BFS level (one sort per
+        parent vertex) in a single call; per-element flooring keeps the
+        total bit-identical to the scalar engines' repeated
+        :meth:`count_sort` calls.
+        """
+        sizes = np.asarray(sizes)
+        sizes = sizes[sizes > 1]
+        if sizes.size:
+            self.compare_ops += int(
+                np.floor(sizes * np.log2(sizes)).astype(np.int64).sum()
+            )
+
     @property
     def total(self) -> int:
         """Total abstract operations."""
@@ -117,6 +132,10 @@ class OrderingScheme(abc.ABC):
     #: coarse category used in reports (Figure 3's taxonomy).
     category: str = "other"
 
+    #: algorithm revision, part of the persistent cache key — bump whenever
+    #: a change alters the permutation a scheme produces for some input.
+    version: int = 1
+
     def __init__(self, *, seed: int | None = 0) -> None:
         self._seed = seed
 
@@ -124,6 +143,27 @@ class OrderingScheme(abc.ABC):
     def seed(self) -> int | None:
         """Seed controlling any randomised tie-breaking in the scheme."""
         return self._seed
+
+    def cache_token(self) -> str:
+        """Deterministic string identifying this scheme *configuration*.
+
+        Combines the registry name, the algorithm :attr:`version`, and
+        every scalar constructor parameter (seed, window width, partition
+        count, ...), so the persistent ordering cache
+        (:mod:`repro.ordering.store`) distinguishes e.g. ``metis`` at 16
+        parts from ``metis`` at 32.  Engine choice is deliberately
+        excluded: scalar and vector engines are bit-identical by
+        contract, so they share cache entries.
+        """
+        params: dict[str, object] = {}
+        for key, value in sorted(vars(self).items()):
+            if isinstance(value, OrderingScheme):
+                # e.g. MinLA's initial scheme: recurse so its config counts.
+                params[key.lstrip("_")] = f"<{value.cache_token()}>"
+            elif isinstance(value, (bool, int, float, str)) or value is None:
+                params[key.lstrip("_")] = value
+        rendered = ",".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{self.name}:v{self.version}:{rendered}"
 
     def order(self, graph: CSRGraph) -> Ordering:
         """Run the scheme and package the result."""

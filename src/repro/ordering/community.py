@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..community.louvain import louvain
+from ..engine import resolve_engine
 from ..graph.builder import GraphBuilder
 from ..graph.csr import CSRGraph
 from ..graph.permute import ordering_from_sequence
@@ -36,8 +37,29 @@ def community_coarse_graph(
     """
     communities = np.asarray(communities, dtype=np.int64)
     num_comms = int(communities.max()) + 1 if communities.size else 0
-    acc: dict[tuple[int, int], float] = {}
     indptr, indices = graph.indptr, graph.indices
+    if resolve_engine() != "scalar":
+        # Vector path: edge multiplicities are integer counts, so one
+        # unique + bincount reproduces the dict accumulation exactly.
+        srcs = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64),
+            np.diff(indptr),
+        )
+        upper = indices > srcs
+        cu, cv = communities[srcs[upper]], communities[indices[upper]]
+        diff = cu != cv
+        lo = np.minimum(cu[diff], cv[diff])
+        hi = np.maximum(cu[diff], cv[diff])
+        key = lo * np.int64(max(num_comms, 1)) + hi
+        uniq, counts = np.unique(key, return_counts=True)
+        builder = GraphBuilder(num_comms)
+        builder.add_edge_array(
+            uniq // max(num_comms, 1),
+            uniq % max(num_comms, 1),
+            counts.astype(np.float64),
+        )
+        return builder.build(weighted=True)
+    acc: dict[tuple[int, int], float] = {}
     for u in range(graph.num_vertices):
         cu = int(communities[u])
         for k in range(indptr[u], indptr[u + 1]):

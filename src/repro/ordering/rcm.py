@@ -9,6 +9,11 @@ degree.
 
 The paper finds RCM the clear winner on graph bandwidth (Figure 6a) and
 competitive on the average gap profile (Figure 5).
+
+Both BFS primitives here run on the frontier-at-a-time vector engine by
+default (whole levels expanded with one CSR gather) with the original
+per-vertex queue loops retained as the scalar ground truth; see
+:mod:`repro.engine` for the contract and the switch.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from collections import deque
 
 import numpy as np
 
+from ..engine import gather_neighbors, resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import ordering_from_sequence
 from .base import OperationCounter, OrderingScheme
@@ -28,6 +34,8 @@ def pseudo_peripheral_vertex(
     graph: CSRGraph,
     start: int,
     counter: OperationCounter | None = None,
+    *,
+    engine: str | None = None,
 ) -> int:
     """Find a pseudo-peripheral vertex of ``start``'s component.
 
@@ -39,7 +47,7 @@ def pseudo_peripheral_vertex(
     current = start
     current_depth = -1
     while True:
-        levels = _bfs_levels(graph, current, counter)
+        levels = _bfs_levels(graph, current, counter, engine=engine)
         depth = levels.max(initial=0)
         if depth <= current_depth:
             return current
@@ -49,9 +57,41 @@ def pseudo_peripheral_vertex(
 
 
 def _bfs_levels(
-    graph: CSRGraph, start: int, counter: OperationCounter | None
+    graph: CSRGraph,
+    start: int,
+    counter: OperationCounter | None,
+    *,
+    engine: str | None = None,
 ) -> np.ndarray:
     """BFS levels within ``start``'s component; other vertices get -1."""
+    if resolve_engine(engine) == "scalar":
+        return _bfs_levels_scalar(graph, start, counter)
+    n = graph.num_vertices
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[start] = 0
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees()
+    frontier = np.asarray([start], dtype=np.int64)
+    depth = 0
+    edge_ops = 0
+    while frontier.size:
+        edge_ops += int(degrees[frontier].sum())
+        targets, _ = gather_neighbors(indptr, indices, frontier)
+        fresh = np.unique(targets[levels[targets] == -1])
+        if fresh.size == 0:
+            break
+        depth += 1
+        levels[fresh] = depth
+        frontier = fresh
+    if counter is not None:
+        counter.count_edges(edge_ops)
+    return levels
+
+
+def _bfs_levels_scalar(
+    graph: CSRGraph, start: int, counter: OperationCounter | None
+) -> np.ndarray:
+    """Scalar reference for :func:`_bfs_levels` (per-vertex queue loop)."""
     n = graph.num_vertices
     levels = np.full(n, -1, dtype=np.int64)
     levels[start] = 0
@@ -75,12 +115,17 @@ def _bfs_levels(
 def cuthill_mckee_sequence(
     graph: CSRGraph,
     counter: OperationCounter | None = None,
+    *,
+    engine: str | None = None,
 ) -> np.ndarray:
     """The (un-reversed) Cuthill–McKee visit sequence over all components."""
+    if resolve_engine(engine) == "scalar":
+        return _cuthill_mckee_scalar(graph, counter)
     n = graph.num_vertices
     degrees = graph.degrees()
+    indptr, indices = graph.indptr, graph.indices
     visited = np.zeros(n, dtype=bool)
-    sequence: list[int] = []
+    chunks: list[np.ndarray] = []
     # Process component starts in non-decreasing degree order, matching the
     # "resume with another unvisited vertex of the smallest degree" rule.
     order_by_degree = np.argsort(degrees, kind="stable")
@@ -89,7 +134,65 @@ def cuthill_mckee_sequence(
     for candidate in order_by_degree:
         if visited[candidate]:
             continue
-        root = pseudo_peripheral_vertex(graph, int(candidate), counter)
+        root = pseudo_peripheral_vertex(
+            graph, int(candidate), counter, engine="vector"
+        )
+        visited[root] = True
+        chunks.append(np.asarray([root], dtype=np.int64))
+        frontier = chunks[-1]
+        edge_ops = 0
+        while frontier.size:
+            edge_ops += int(degrees[frontier].sum())
+            targets, slots = gather_neighbors(indptr, indices, frontier)
+            keep = ~visited[targets]
+            children, parents = targets[keep], slots[keep]
+            if children.size == 0:
+                break
+            # Each child is claimed by its earliest parent in queue order —
+            # stable sort by (child, parent slot), keep first occurrence.
+            claim = np.lexsort((parents, children))
+            children, parents = children[claim], parents[claim]
+            first = np.ones(children.size, dtype=bool)
+            first[1:] = children[1:] != children[:-1]
+            children, parents = children[first], parents[first]
+            if counter is not None:
+                # One degree-sort per parent over its claimed children.
+                counter.count_sort_batch(
+                    np.bincount(parents, minlength=frontier.size)
+                )
+            # Queue order: parents in frontier order, each parent's
+            # children by (degree, id) — exactly the scalar visit rule.
+            level = children[
+                np.lexsort((children, degrees[children], parents))
+            ]
+            visited[level] = True
+            chunks.append(level)
+            frontier = level
+        if counter is not None:
+            counter.count_edges(edge_ops)
+    if not chunks:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def _cuthill_mckee_scalar(
+    graph: CSRGraph,
+    counter: OperationCounter | None = None,
+) -> np.ndarray:
+    """Scalar reference for :func:`cuthill_mckee_sequence`."""
+    n = graph.num_vertices
+    degrees = graph.degrees()
+    visited = np.zeros(n, dtype=bool)
+    sequence: list[int] = []
+    order_by_degree = np.argsort(degrees, kind="stable")
+    if counter is not None:
+        counter.count_sort(n)
+    for candidate in order_by_degree:
+        if visited[candidate]:
+            continue
+        root = pseudo_peripheral_vertex(
+            graph, int(candidate), counter, engine="scalar"
+        )
         visited[root] = True
         sequence.append(root)
         queue = deque([root])

@@ -19,6 +19,7 @@ from collections import deque
 
 import numpy as np
 
+from ..engine import gather_neighbors, resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import ordering_from_sequence
 from .base import OperationCounter, OrderingScheme
@@ -53,6 +54,7 @@ class SlashBurnOrder(OrderingScheme):
         counter: OperationCounter,
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, dict]:
+        engine = resolve_engine()
         n = graph.num_vertices
         k = max(1, int(round(self._k_ratio * n)))
         alive = np.ones(n, dtype=bool)
@@ -80,16 +82,32 @@ class SlashBurnOrder(OrderingScheme):
             top = alive_ids[
                 np.argsort(-degrees[alive_ids], kind="stable")[:k]
             ]
-            for hub in top:
-                alive[hub] = False
-                for v in graph.neighbors(int(hub)):
-                    if alive[v]:
-                        degrees[v] -= 1
-                counter.count_edges(graph.degree(int(hub)))
+            if engine == "scalar":
+                for hub in top:
+                    alive[hub] = False
+                    for v in graph.neighbors(int(hub)):
+                        if alive[v]:
+                            degrees[v] -= 1
+                    counter.count_edges(graph.degree(int(hub)))
+            else:
+                # Batched removal: decrements to other hubs in the same
+                # batch are irrelevant (their degrees are never read
+                # again), so killing all hubs first then decrementing
+                # surviving neighbours — with multiplicity — matches the
+                # sequential loop exactly.
+                alive[top] = False
+                hub_nbrs, _ = gather_neighbors(
+                    graph.indptr, graph.indices, top
+                )
+                survivors = hub_nbrs[alive[hub_nbrs]]
+                np.subtract.at(degrees, survivors, 1)
+                counter.count_edges(int(hub_nbrs.size))
             front.extend(int(v) for v in top)
 
             # ---- Burn: find components of the remaining graph.
-            comp_label, comp_sizes = self._components(graph, alive, counter)
+            comp_label, comp_sizes = self._components(
+                graph, alive, counter, engine
+            )
             if not comp_sizes:
                 continue
             giant = max(comp_sizes, key=comp_sizes.get)
@@ -123,8 +141,47 @@ class SlashBurnOrder(OrderingScheme):
         graph: CSRGraph,
         alive: np.ndarray,
         counter: OperationCounter,
+        engine: str = "vector",
     ) -> tuple[np.ndarray, dict[int, int]]:
         """Connected components of the alive-induced subgraph."""
+        if engine == "scalar":
+            return SlashBurnOrder._components_scalar(graph, alive, counter)
+        n = graph.num_vertices
+        indptr, indices = graph.indptr, graph.indices
+        full_degrees = graph.degrees()
+        label = np.full(n, -1, dtype=np.int64)
+        sizes: dict[int, int] = {}
+        current = 0
+        edge_ops = 0
+        for start in np.flatnonzero(alive):
+            if label[start] != -1:
+                continue
+            label[start] = current
+            size = 1
+            frontier = np.asarray([start], dtype=np.int64)
+            while frontier.size:
+                edge_ops += int(full_degrees[frontier].sum())
+                targets, _ = gather_neighbors(indptr, indices, frontier)
+                fresh = np.unique(
+                    targets[alive[targets] & (label[targets] == -1)]
+                )
+                if fresh.size == 0:
+                    break
+                label[fresh] = current
+                size += int(fresh.size)
+                frontier = fresh
+            sizes[current] = size
+            current += 1
+        counter.count_edges(edge_ops)
+        return label, sizes
+
+    @staticmethod
+    def _components_scalar(
+        graph: CSRGraph,
+        alive: np.ndarray,
+        counter: OperationCounter,
+    ) -> tuple[np.ndarray, dict[int, int]]:
+        """Scalar reference for :meth:`_components`."""
         n = graph.num_vertices
         label = np.full(n, -1, dtype=np.int64)
         sizes: dict[int, int] = {}

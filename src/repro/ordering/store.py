@@ -1,0 +1,207 @@
+"""Persistent content-addressed ordering cache.
+
+Orderings are pure functions of (graph content, scheme configuration):
+every scheme is deterministic under a fixed seed, and the vector/scalar
+engines are bit-identical by contract.  That makes orderings safe to cache
+across processes — repeated figure runs, parallel bench workers, and CI
+jobs all skip recomputation once a cache entry exists.
+
+Layout (under ``$REPRO_CACHE_DIR``, default ``.repro-cache/``)::
+
+    .repro-cache/orderings/<graph-hash>/<scheme>-<key-hash>.npz
+
+``graph-hash`` is :meth:`repro.graph.csr.CSRGraph.content_hash` (sha256 of
+the CSR arrays), ``key-hash`` digests the scheme's
+:meth:`~repro.ordering.base.OrderingScheme.cache_token` (name, algorithm
+version, seed, and every scalar constructor parameter).  Entries store the
+permutation plus the operation count and metadata, so a cache hit
+reproduces the fresh :class:`~repro.ordering.base.Ordering` exactly.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent pool workers
+can share one cache directory without corruption; the worst case is two
+workers computing the same entry and one harmlessly overwriting the other
+with identical bytes.
+
+Set ``REPRO_ORDERING_CACHE=0`` to disable the persistent layer entirely
+(the in-process memo in :mod:`repro.bench.runners` still applies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import Ordering, OrderingScheme
+
+__all__ = [
+    "OrderingStore",
+    "default_store",
+    "store_enabled",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE_DIR",
+    "ENV_CACHE_SWITCH",
+]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_SWITCH = "REPRO_ORDERING_CACHE"
+
+#: bump to invalidate every persisted entry at once (format changes).
+_FORMAT_VERSION = 1
+
+
+def store_enabled() -> bool:
+    """Whether the persistent layer is switched on (default: yes)."""
+    return os.environ.get(ENV_CACHE_SWITCH, "1") != "0"
+
+
+class OrderingStore:
+    """A content-addressed on-disk cache of :class:`Ordering` results."""
+
+    def __init__(self, root: str | None = None) -> None:
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+        self.root = os.path.join(root, "orderings")
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_name(scheme: OrderingScheme) -> str:
+        """File name (sans directory) for a scheme configuration."""
+        token = scheme.cache_token()
+        digest = hashlib.sha256(
+            f"fmt{_FORMAT_VERSION}:{token}".encode()
+        ).hexdigest()[:16]
+        return f"{scheme.name}-{digest}.npz"
+
+    def entry_path(self, graph: CSRGraph, scheme: OrderingScheme) -> str:
+        """Full path of the cache entry for (graph, scheme config)."""
+        return os.path.join(
+            self.root, graph.content_hash(), self.entry_name(scheme)
+        )
+
+    # ------------------------------------------------------------------
+    # Load / store
+    # ------------------------------------------------------------------
+    def load(
+        self, graph: CSRGraph, scheme: OrderingScheme
+    ) -> Ordering | None:
+        """The cached ordering, or ``None`` on a miss (counted)."""
+        path = self.entry_path(graph, scheme)
+        try:
+            with np.load(path, allow_pickle=False) as bundle:
+                permutation = bundle["permutation"].astype(np.int64)
+                cost = int(bundle["cost"])
+                metadata = json.loads(str(bundle["metadata"]))
+        except (OSError, KeyError, ValueError):
+            self.misses += 1
+            return None
+        if permutation.size != graph.num_vertices:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Ordering(
+            scheme=scheme.name,
+            permutation=permutation,
+            cost=cost,
+            metadata=metadata,
+        )
+
+    def store(
+        self, graph: CSRGraph, scheme: OrderingScheme, ordering: Ordering
+    ) -> str:
+        """Persist ``ordering`` atomically; returns the entry path."""
+        path = self.entry_path(graph, scheme)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = io.BytesIO()
+        np.savez(
+            payload,
+            permutation=ordering.permutation.astype(np.int64),
+            cost=np.int64(ordering.cost),
+            metadata=json.dumps(ordering.metadata, sort_keys=True),
+        )
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload.getvalue())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_compute(
+        self, graph: CSRGraph, scheme: OrderingScheme
+    ) -> Ordering:
+        """Cache-through ordering computation."""
+        cached = self.load(graph, scheme)
+        if cached is not None:
+            return cached
+        ordering = scheme.order(graph)
+        self.store(graph, scheme, ordering)
+        return ordering
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _dirnames, filenames in os.walk(
+            self.root, topdown=False
+        ):
+            for name in filenames:
+                try:
+                    os.unlink(os.path.join(dirpath, name))
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                os.rmdir(dirpath)
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of persisted entries."""
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for f in filenames if f.endswith(".npz"))
+        return count
+
+
+def default_store() -> OrderingStore | None:
+    """The process-wide store for the current environment, or ``None``.
+
+    Re-resolves ``REPRO_CACHE_DIR`` on every call (tests repoint it), and
+    returns ``None`` when ``REPRO_ORDERING_CACHE=0``.  Hit/miss counters
+    persist per resolved root for the life of the process.
+    """
+    if not store_enabled():
+        return None
+    root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+    store = _STORES.get(root)
+    if store is None:
+        store = OrderingStore(root)
+        _STORES[root] = store
+    return store
+
+
+_STORES: dict[str, OrderingStore] = {}

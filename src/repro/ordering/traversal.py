@@ -15,6 +15,11 @@ used by the hybrid-engine ablation.
   number *all* its unvisited children (in natural order) before descending
   into the first child's subtree — a level-relaxed Cuthill–McKee without
   the degree sort.
+
+BFS runs frontier-at-a-time on the vector engine; the depth-first orders
+are inherently sequential, so their vector paths batch each vertex's
+neighbour filtering into array operations instead.  The original loops are
+retained as the scalar ground truth (:mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from collections import deque
 
 import numpy as np
 
+from ..engine import gather_neighbors, resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import ordering_from_sequence
 from .base import OperationCounter, OrderingScheme
@@ -32,18 +38,49 @@ __all__ = ["BFSOrder", "DFSOrder", "ChildrenDFSOrder"]
 
 
 def _component_roots(
-    graph: CSRGraph, counter: OperationCounter
+    graph: CSRGraph, counter: OperationCounter, engine: str
 ) -> list[int]:
     """One pseudo-peripheral root per connected component, by min id."""
+    if engine == "scalar":
+        return _component_roots_scalar(graph, counter)
+    n = graph.num_vertices
+    indptr, indices = graph.indptr, graph.indices
+    visited = np.zeros(n, dtype=bool)
+    roots: list[int] = []
+    for start in range(n):
+        if visited[start]:
+            continue
+        root = pseudo_peripheral_vertex(
+            graph, start, counter, engine="vector"
+        )
+        roots.append(root)
+        # mark the whole component visited so the scan skips it
+        visited[root] = True
+        frontier = np.asarray([root], dtype=np.int64)
+        while frontier.size:
+            targets, _ = gather_neighbors(indptr, indices, frontier)
+            fresh = np.unique(targets[~visited[targets]])
+            if fresh.size == 0:
+                break
+            visited[fresh] = True
+            frontier = fresh
+    return roots
+
+
+def _component_roots_scalar(
+    graph: CSRGraph, counter: OperationCounter
+) -> list[int]:
+    """Scalar reference for :func:`_component_roots`."""
     n = graph.num_vertices
     visited = np.zeros(n, dtype=bool)
     roots: list[int] = []
     for start in range(n):
         if visited[start]:
             continue
-        root = pseudo_peripheral_vertex(graph, start, counter)
+        root = pseudo_peripheral_vertex(
+            graph, start, counter, engine="scalar"
+        )
         roots.append(root)
-        # mark the whole component visited so the scan skips it
         visited[root] = True
         queue = deque([root])
         while queue:
@@ -67,10 +104,53 @@ class BFSOrder(OrderingScheme):
         counter: OperationCounter,
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, dict]:
+        engine = resolve_engine()
+        if engine == "scalar":
+            return self._compute_scalar(graph, counter)
+        n = graph.num_vertices
+        indptr, indices = graph.indptr, graph.indices
+        degrees = graph.degrees()
+        visited = np.zeros(n, dtype=bool)
+        chunks: list[np.ndarray] = []
+        for root in _component_roots(graph, counter, engine):
+            if visited[root]:
+                continue
+            visited[root] = True
+            chunks.append(np.asarray([root], dtype=np.int64))
+            frontier = chunks[-1]
+            edge_ops = 0
+            while frontier.size:
+                edge_ops += int(degrees[frontier].sum())
+                targets, slots = gather_neighbors(indptr, indices, frontier)
+                keep = ~visited[targets]
+                children, parents = targets[keep], slots[keep]
+                if children.size == 0:
+                    break
+                # Earliest parent claims each child (stable by child then
+                # parent slot), then queue order: parent slot, child id.
+                claim = np.lexsort((parents, children))
+                children, parents = children[claim], parents[claim]
+                first = np.ones(children.size, dtype=bool)
+                first[1:] = children[1:] != children[:-1]
+                children, parents = children[first], parents[first]
+                level = children[np.lexsort((children, parents))]
+                visited[level] = True
+                chunks.append(level)
+                frontier = level
+            counter.count_edges(edge_ops)
+        counter.count_vertices(n)
+        sequence = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        )
+        return ordering_from_sequence(sequence), {}
+
+    def _compute_scalar(
+        self, graph: CSRGraph, counter: OperationCounter
+    ) -> tuple[np.ndarray, dict]:
         n = graph.num_vertices
         visited = np.zeros(n, dtype=bool)
         sequence: list[int] = []
-        for root in _component_roots(graph, counter):
+        for root in _component_roots(graph, counter, "scalar"):
             if visited[root]:
                 continue
             visited[root] = True
@@ -103,10 +183,42 @@ class DFSOrder(OrderingScheme):
         counter: OperationCounter,
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, dict]:
+        engine = resolve_engine()
+        if engine == "scalar":
+            return self._compute_scalar(graph, counter)
+        n = graph.num_vertices
+        indptr = graph.indptr
+        indices = graph.indices
+        visited = np.zeros(n, dtype=bool)
+        sequence: list[int] = []
+        edge_ops = 0
+        for root in _component_roots(graph, counter, engine):
+            if visited[root]:
+                continue
+            stack = [root]
+            while stack:
+                u = stack.pop()
+                if visited[u]:
+                    continue
+                visited[u] = True
+                sequence.append(u)
+                nbrs = indices[indptr[u]: indptr[u + 1]]
+                edge_ops += nbrs.size
+                # reversed so the lowest-id neighbour is explored first
+                stack.extend(nbrs[~visited[nbrs]][::-1].tolist())
+        counter.count_edges(edge_ops)
+        counter.count_vertices(n)
+        return ordering_from_sequence(
+            np.asarray(sequence, dtype=np.int64)
+        ), {}
+
+    def _compute_scalar(
+        self, graph: CSRGraph, counter: OperationCounter
+    ) -> tuple[np.ndarray, dict]:
         n = graph.num_vertices
         visited = np.zeros(n, dtype=bool)
         sequence: list[int] = []
-        for root in _component_roots(graph, counter):
+        for root in _component_roots(graph, counter, "scalar"):
             if visited[root]:
                 continue
             stack = [root]
@@ -146,6 +258,39 @@ class ChildrenDFSOrder(OrderingScheme):
         counter: OperationCounter,
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, dict]:
+        engine = resolve_engine()
+        if engine == "scalar":
+            return self._compute_scalar(graph, counter)
+        n = graph.num_vertices
+        indptr = graph.indptr
+        indices = graph.indices
+        visited = np.zeros(n, dtype=bool)
+        sequence: list[int] = []
+        edge_ops = 0
+        for root in _component_roots(graph, counter, engine):
+            if visited[root]:
+                continue
+            visited[root] = True
+            sequence.append(root)
+            stack = [root]
+            while stack:
+                u = stack.pop()
+                nbrs = indices[indptr[u]: indptr[u + 1]]
+                edge_ops += nbrs.size
+                children = nbrs[~visited[nbrs]]
+                visited[children] = True
+                sequence.extend(children.tolist())
+                # descend into children, first child's subtree first
+                stack.extend(children[::-1].tolist())
+        counter.count_edges(edge_ops)
+        counter.count_vertices(n)
+        return ordering_from_sequence(
+            np.asarray(sequence, dtype=np.int64)
+        ), {}
+
+    def _compute_scalar(
+        self, graph: CSRGraph, counter: OperationCounter
+    ) -> tuple[np.ndarray, dict]:
         n = graph.num_vertices
         visited = np.zeros(n, dtype=bool)
         sequence: list[int] = []
@@ -167,7 +312,7 @@ class ChildrenDFSOrder(OrderingScheme):
                 # descend into children, first child's subtree first
                 stack.extend(reversed(children))
 
-        for root in _component_roots(graph, counter):
+        for root in _component_roots(graph, counter, "scalar"):
             if visited[root]:
                 continue
             visited[root] = True

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.builder import GraphBuilder
 from ..graph.csr import CSRGraph
 
@@ -60,13 +61,54 @@ def contract_by_labels(
     num_coarse = int(labels.max()) + 1 if n else 0
     if vertex_weights is None:
         vertex_weights = np.ones(n, dtype=np.float64)
+    indptr, indices = graph.indptr, graph.indices
+    weights = graph.weights
+
+    if resolve_engine() != "scalar":
+        # Vector path: every accumulation goes through np.bincount, whose
+        # sequential input-order summation matches the scalar scan —
+        # vertex weights first, then (when kept) intra-class edge weights
+        # in edge-scan order.
+        srcs = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        upper = indices >= srcs
+        uu, vv = srcs[upper], indices[upper]
+        w_up = (
+            weights[upper]
+            if weights is not None
+            else np.ones(uu.size, dtype=np.float64)
+        )
+        cu, cv = labels[uu], labels[vv]
+        same = cu == cv
+        if keep_self_loops:
+            vw_ids = np.concatenate((labels, cu[same]))
+            vw_vals = np.concatenate((vertex_weights, w_up[same]))
+        else:
+            vw_ids, vw_vals = labels, vertex_weights
+        coarse_vw = np.bincount(
+            vw_ids, weights=vw_vals, minlength=max(num_coarse, 1)
+        ).astype(np.float64)[:num_coarse]
+        diff_m = ~same
+        lo = np.minimum(cu[diff_m], cv[diff_m])
+        hi = np.maximum(cu[diff_m], cv[diff_m])
+        key = lo * np.int64(max(num_coarse, 1)) + hi
+        uniq, inverse = np.unique(key, return_inverse=True)
+        merged = np.bincount(
+            inverse, weights=w_up[diff_m], minlength=uniq.size
+        )
+        builder = GraphBuilder(num_coarse)
+        builder.add_edge_array(
+            uniq // max(num_coarse, 1), uniq % max(num_coarse, 1), merged
+        )
+        coarse = builder.build(weighted=True)
+        return CoarseLevel(
+            graph=coarse, vertex_weights=coarse_vw, fine_to_coarse=labels
+        )
+
     coarse_vw = np.zeros(num_coarse, dtype=np.float64)
     np.add.at(coarse_vw, labels, vertex_weights)
 
     # Aggregate inter-class edge weights.
     edge_acc: dict[tuple[int, int], float] = {}
-    indptr, indices = graph.indptr, graph.indices
-    weights = graph.weights
     for u in range(n):
         cu = int(labels[u])
         for k in range(indptr[u], indptr[u + 1]):

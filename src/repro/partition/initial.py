@@ -10,16 +10,32 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 
 __all__ = ["greedy_bisection", "edge_cut", "partition_weights"]
 
 
 def edge_cut(graph: CSRGraph, part: np.ndarray) -> float:
-    """Total weight of edges crossing between parts."""
-    cut = 0.0
+    """Total weight of edges crossing between parts.
+
+    The vector path sums the crossing weights with ``cumsum`` (sequential
+    accumulation, unlike ``np.sum``'s pairwise blocking) so the float
+    result is bit-identical to the scalar scan.
+    """
     indptr, indices = graph.indptr, graph.indices
     weights = graph.weights
+    part = np.asarray(part)
+    if resolve_engine() != "scalar":
+        srcs = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), np.diff(indptr)
+        )
+        crossing = (indices > srcs) & (part[indices] != part[srcs])
+        if weights is None:
+            return float(np.count_nonzero(crossing))
+        sel = weights[crossing]
+        return float(np.cumsum(sel)[-1]) if sel.size else 0.0
+    cut = 0.0
     for u in range(graph.num_vertices):
         pu = part[u]
         for k in range(indptr[u], indptr[u + 1]):

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 
 __all__ = ["heavy_edge_matching", "matching_to_coarse_map"]
@@ -44,8 +45,12 @@ def heavy_edge_matching(
     itself when unmatched).
     """
     n = graph.num_vertices
-    match = np.full(n, -1, dtype=np.int64)
     visit_order = rng.permutation(n)
+    if resolve_engine() != "scalar":
+        return _heavy_edge_matching_vector(
+            graph, visit_order, vertex_weights, max_vertex_weight
+        )
+    match = np.full(n, -1, dtype=np.int64)
     for u in visit_order:
         u = int(u)
         if match[u] != -1:
@@ -74,6 +79,49 @@ def heavy_edge_matching(
     return match
 
 
+def _heavy_edge_matching_vector(
+    graph: CSRGraph,
+    visit_order: np.ndarray,
+    vertex_weights: np.ndarray | None,
+    max_vertex_weight: float | None,
+) -> np.ndarray:
+    """HEM with pre-sorted candidate lists.
+
+    One global lexsort orders each adjacency row by (weight desc, id asc);
+    the scalar max-scan picks exactly the first still-eligible entry of
+    that row, so scanning the sorted row and stopping at the first
+    eligible candidate yields the identical matching.
+    """
+    n = graph.num_vertices
+    srcs = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    if graph.weights is None:
+        sorted_nbrs = graph.indices.tolist()  # rows already sorted by id
+    else:
+        order = np.lexsort((graph.indices, -graph.weights, srcs))
+        sorted_nbrs = graph.indices[order].tolist()
+    indptr = graph.indptr.tolist()
+    vw = vertex_weights.tolist() if vertex_weights is not None else None
+    constrained = vw is not None and max_vertex_weight is not None
+    match = [-1] * n
+    for u in visit_order.tolist():
+        if match[u] != -1:
+            continue
+        best = -1
+        for v in sorted_nbrs[indptr[u]: indptr[u + 1]]:
+            if v == u or match[v] != -1:
+                continue
+            if constrained and vw[u] + vw[v] > max_vertex_weight:
+                continue
+            best = v
+            break
+        if best == -1:
+            match[u] = u
+        else:
+            match[u] = best
+            match[best] = u
+    return np.asarray(match, dtype=np.int64)
+
+
 def matching_to_coarse_map(match: np.ndarray) -> tuple[np.ndarray, int]:
     """Convert a matching into a fine-to-coarse vertex map.
 
@@ -83,6 +131,13 @@ def matching_to_coarse_map(match: np.ndarray) -> tuple[np.ndarray, int]:
     deterministic given the matching.
     """
     n = match.size
+    if resolve_engine() != "scalar":
+        # Each pair's representative is its lower fine id; the scalar scan
+        # assigns ids in ascending representative order, which is exactly
+        # np.unique's sorted inverse.
+        reps = np.minimum(np.arange(n, dtype=np.int64), match)
+        uniq, inverse = np.unique(reps, return_inverse=True)
+        return inverse.astype(np.int64), int(uniq.size)
     coarse_of = np.full(n, -1, dtype=np.int64)
     next_id = 0
     for v in range(n):

@@ -14,6 +14,7 @@ import heapq
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 from .initial import edge_cut, partition_weights
 
@@ -25,11 +26,27 @@ def move_gains(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
 
     ``gain[v] = external weight - internal weight`` with respect to ``v``'s
     current side; positive gain moves reduce the cut.
+
+    The vector path signs each adjacency entry and folds per vertex with
+    ``np.bincount``, whose sequential accumulation reproduces the scalar
+    per-row summation order bit-exactly.
     """
     n = graph.num_vertices
-    gains = np.zeros(n, dtype=np.float64)
     indptr, indices = graph.indptr, graph.indices
     weights = graph.weights
+    part = np.asarray(part)
+    if resolve_engine() != "scalar":
+        srcs = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        w = (
+            weights
+            if weights is not None
+            else np.ones(indices.size, dtype=np.float64)
+        )
+        signed = np.where(part[indices] == part[srcs], -w, w)
+        return np.bincount(srcs, weights=signed, minlength=n).astype(
+            np.float64
+        )
+    gains = np.zeros(n, dtype=np.float64)
     for u in range(n):
         pu = part[u]
         g = 0.0
@@ -95,6 +112,10 @@ def _one_pass(
     max_negative_moves: int,
 ) -> bool:
     """One FM pass; mutates ``part``; returns whether the cut improved."""
+    if resolve_engine() != "scalar":
+        return _one_pass_vector(
+            graph, part, vertex_weights, limits, max_negative_moves
+        )
     n = graph.num_vertices
     gains = move_gains(graph, part)
     weights = partition_weights(part, vertex_weights)
@@ -152,4 +173,84 @@ def _one_pass(
     # Roll back moves after the best prefix.
     for v in moves[best_prefix:]:
         part[v] = 1 - part[v]
+    return best_cut < start_cut - 1e-12
+
+
+def _one_pass_vector(
+    graph: CSRGraph,
+    part: np.ndarray,
+    vertex_weights: np.ndarray,
+    limits: tuple[float, float],
+    max_negative_moves: int,
+) -> bool:
+    """`_one_pass` on native containers: same heap traffic, same floats.
+
+    Python float and numpy float64 arithmetic are the same IEEE
+    operations, so every gain, balance, and cut value — and therefore
+    every heap pop and the returned partition — matches the scalar pass
+    bit-exactly.
+    """
+    n = graph.num_vertices
+    gains = move_gains(graph, part).tolist()
+    weights = partition_weights(part, vertex_weights).tolist()
+    start_cut = edge_cut(graph, part)
+
+    part_l = part.tolist()
+    vw_l = vertex_weights.tolist()
+    indptr = graph.indptr.tolist()
+    flat = graph.indices.tolist()
+    flat_w = (
+        graph.weights.tolist()
+        if graph.weights is not None
+        else None
+    )
+
+    locked = [False] * n
+    heap = [(-gains[v], v) for v in range(n)]
+    heapq.heapify(heap)
+
+    moves: list[int] = []
+    cut = start_cut
+    best_cut = start_cut
+    best_prefix = 0
+    negatives = 0
+
+    while heap and negatives <= max_negative_moves:
+        neg_gain, v = heapq.heappop(heap)
+        if locked[v] or -neg_gain != gains[v]:
+            continue
+        src = part_l[v]
+        dst = 1 - src
+        vw = vw_l[v]
+        if weights[dst] + vw > limits[dst]:
+            continue  # would unbalance; skip this vertex this pass
+        # Commit the move.
+        locked[v] = True
+        part_l[v] = dst
+        weights[src] -= vw
+        weights[dst] += vw
+        cut -= gains[v]
+        moves.append(v)
+        if cut < best_cut - 1e-12:
+            best_cut = cut
+            best_prefix = len(moves)
+            negatives = 0
+        else:
+            negatives += 1
+        # Update neighbour gains.
+        for k in range(indptr[v], indptr[v + 1]):
+            u = flat[k]
+            if locked[u]:
+                continue
+            w = flat_w[k] if flat_w is not None else 1.0
+            if part_l[u] == dst:
+                gains[u] -= 2.0 * w
+            else:
+                gains[u] += 2.0 * w
+            heapq.heappush(heap, (-gains[u], u))
+
+    # Roll back moves after the best prefix.
+    for v in moves[best_prefix:]:
+        part_l[v] = 1 - part_l[v]
+    part[:] = part_l
     return best_cut < start_cut - 1e-12

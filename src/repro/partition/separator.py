@@ -10,10 +10,12 @@ uncovered cut edges (a 2-approximation in cut size, matching what METIS's
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 from .multilevel import bisect
 
@@ -46,6 +48,22 @@ def vertex_separator(
     result = bisect(graph, seed=seed)
     part = result.assignment
 
+    if resolve_engine() != "scalar":
+        in_separator = _greedy_cover_vector(graph, part)
+    else:
+        in_separator = _greedy_cover_scalar(graph, part)
+
+    left = np.flatnonzero((part == 0) & ~in_separator)
+    right = np.flatnonzero((part == 1) & ~in_separator)
+    separator = np.flatnonzero(in_separator)
+    return Separation(left, right, separator)
+
+
+def _greedy_cover_scalar(
+    graph: CSRGraph, part: np.ndarray
+) -> np.ndarray:
+    """Scalar reference: full max-rescan per separator vertex."""
+    n = graph.num_vertices
     # Collect cut edges.
     cut_edges: list[tuple[int, int]] = []
     for u in range(n):
@@ -72,8 +90,54 @@ def vertex_separator(
                 break
             in_separator[best] = True
             uncovered -= covering
+    return in_separator
 
-    left = np.flatnonzero((part == 0) & ~in_separator)
-    right = np.flatnonzero((part == 1) & ~in_separator)
-    separator = np.flatnonzero(in_separator)
-    return Separation(left, right, separator)
+
+def _greedy_cover_vector(
+    graph: CSRGraph, part: np.ndarray
+) -> np.ndarray:
+    """Greedy vertex cover with a lazy max-heap.
+
+    Uncovered-incidence counts only ever decrease, so a lazy-deletion heap
+    over ``(-count, vertex)`` pops exactly the vertex the scalar
+    ``max(..., key=(count, -x))`` rescan would pick, covered edges
+    decrement their other endpoint as they disappear.  Selection order —
+    and therefore the separator — is identical.
+    """
+    n = graph.num_vertices
+    srcs = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    indices = graph.indices
+    crossing = (indices > srcs) & (part[indices] != part[srcs])
+    cut_u = srcs[crossing].tolist()
+    cut_v = indices[crossing].tolist()
+
+    in_separator = np.zeros(n, dtype=bool)
+    m = len(cut_u)
+    if m == 0:
+        return in_separator
+    incident: dict[int, list[int]] = {}
+    for idx in range(m):
+        incident.setdefault(cut_u[idx], []).append(idx)
+        incident.setdefault(cut_v[idx], []).append(idx)
+    count = {x: len(es) for x, es in incident.items()}
+    heap = [(-c, x) for x, c in count.items()]
+    heapq.heapify(heap)
+    edge_covered = [False] * m
+    remaining = m
+    chosen: set[int] = set()
+    while remaining and heap:
+        neg_c, x = heapq.heappop(heap)
+        if x in chosen or -neg_c != count[x]:
+            continue  # stale entry
+        chosen.add(x)
+        in_separator[x] = True
+        for e in incident[x]:
+            if edge_covered[e]:
+                continue
+            edge_covered[e] = True
+            remaining -= 1
+            other = cut_v[e] if cut_u[e] == x else cut_u[e]
+            if other not in chosen:
+                count[other] -= 1
+                heapq.heappush(heap, (-count[other], other))
+    return in_separator

@@ -8,6 +8,16 @@ import pytest
 from repro.graph import CSRGraph, from_edges
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ordering_cache(tmp_path, monkeypatch):
+    """Route the persistent ordering cache into each test's tmp dir.
+
+    Keeps test runs from writing `.repro-cache/` into the repo and from
+    seeing entries persisted by other tests or earlier runs.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 def make_path(n: int) -> CSRGraph:
     """Path 0-1-2-...-(n-1)."""
     return from_edges(n, [(i, i + 1) for i in range(n - 1)])

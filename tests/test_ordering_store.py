@@ -1,0 +1,213 @@
+"""The persistent content-addressed ordering cache (repro.ordering.store).
+
+A warm hit must reproduce the fresh :class:`Ordering` exactly —
+permutation, operation count, metadata — and pool workers sharing a cache
+directory must round-trip the same results as an in-process compute.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import runners
+from repro.datasets.registry import load
+from repro.graph import from_edges
+from repro.ordering import (
+    OrderingStore,
+    RandomOrder,
+    default_store,
+    get_scheme,
+    store_enabled,
+)
+from tests.conftest import make_grid, make_two_cliques, random_graph
+
+
+def same_ordering(a, b):
+    return (
+        np.array_equal(a.permutation, b.permutation)
+        and a.cost == b.cost
+        and a.metadata == b.metadata
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return OrderingStore(str(tmp_path / "cache"))
+
+
+# ---------------------------------------------------------------------------
+# Keys and layout
+# ---------------------------------------------------------------------------
+def test_entry_name_distinguishes_configurations():
+    assert OrderingStore.entry_name(
+        RandomOrder(seed=1)
+    ) != OrderingStore.entry_name(RandomOrder(seed=2))
+    assert OrderingStore.entry_name(
+        get_scheme("rcm")
+    ) != OrderingStore.entry_name(get_scheme("bfs"))
+
+
+def test_entry_name_stable_and_prefixed():
+    a = OrderingStore.entry_name(get_scheme("rcm"))
+    assert a == OrderingStore.entry_name(get_scheme("rcm"))
+    assert a.startswith("rcm-") and a.endswith(".npz")
+
+
+def test_entry_path_keyed_by_graph_content(store):
+    scheme = get_scheme("rcm")
+    g1 = make_grid(4, 3)
+    g2 = make_two_cliques(4)
+    p1 = store.entry_path(g1, scheme)
+    p2 = store.entry_path(g2, scheme)
+    assert p1 != p2
+    assert os.path.basename(p1) == os.path.basename(p2)
+    # Same content => same path, even for a separately built object.
+    g1_again = make_grid(4, 3)
+    assert store.entry_path(g1_again, scheme) == p1
+
+
+def test_version_bump_changes_entry_name():
+    class Bumped(type(get_scheme("rcm"))):
+        version = 99
+
+    assert OrderingStore.entry_name(Bumped()) != OrderingStore.entry_name(
+        get_scheme("rcm")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cold / warm cycle
+# ---------------------------------------------------------------------------
+def test_cold_then_warm_identical(store):
+    graph = random_graph(60, 200, seed=9)
+    scheme = get_scheme("rcm")
+    assert store.load(graph, scheme) is None
+    fresh = store.get_or_compute(graph, scheme)
+    assert store.entry_count() == 1
+    warm = store.get_or_compute(graph, scheme)
+    assert same_ordering(fresh, warm)
+    assert store.misses == 2  # initial probe + cold get_or_compute
+    assert store.hits == 1
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ("rcm", "slashburn", "metis", "rabbit", "random")
+)
+def test_round_trip_all_fields(store, scheme_name):
+    graph = make_two_cliques(6)
+    scheme = get_scheme(scheme_name)
+    fresh = store.get_or_compute(graph, scheme)
+    warm = store.load(graph, scheme)
+    assert warm is not None
+    assert same_ordering(fresh, warm)
+    assert warm.scheme == scheme_name
+    assert warm.permutation.dtype == np.int64
+
+
+def test_corrupt_entry_is_a_miss_and_recomputed(store):
+    graph = make_grid(5, 3)
+    scheme = get_scheme("bfs")
+    fresh = store.get_or_compute(graph, scheme)
+    path = store.entry_path(graph, scheme)
+    with open(path, "wb") as handle:
+        handle.write(b"not an npz")
+    recovered = store.get_or_compute(graph, scheme)
+    assert same_ordering(fresh, recovered)
+    assert store.load(graph, scheme) is not None
+
+
+def test_wrong_sized_entry_rejected(store):
+    small = from_edges(4, [(0, 1), (2, 3)])
+    big = make_grid(4, 4)
+    scheme = get_scheme("natural")
+    ordering = store.get_or_compute(small, scheme)
+    # Simulate a stale entry: copy the small graph's entry to the big
+    # graph's path.  The size guard must treat it as a miss.
+    stale_path = store.entry_path(big, scheme)
+    os.makedirs(os.path.dirname(stale_path), exist_ok=True)
+    with open(store.entry_path(small, scheme), "rb") as src:
+        with open(stale_path, "wb") as dst:
+            dst.write(src.read())
+    assert store.load(big, scheme) is None
+    assert ordering.permutation.size == 4
+
+
+def test_clear_removes_everything(store):
+    graph = make_grid(4, 4)
+    for name in ("rcm", "bfs", "natural"):
+        store.get_or_compute(graph, get_scheme(name))
+    assert store.entry_count() == 3
+    assert store.clear() == 3
+    assert store.entry_count() == 0
+    assert store.load(graph, get_scheme("rcm")) is None
+
+
+# ---------------------------------------------------------------------------
+# Environment wiring
+# ---------------------------------------------------------------------------
+def test_default_store_honours_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    store = default_store()
+    assert store is not None
+    assert store.root == os.path.join(str(tmp_path / "alt"), "orderings")
+    # Singleton per root: a second call reuses the same counters.
+    assert default_store() is store
+
+
+def test_disable_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_ORDERING_CACHE", "0")
+    assert not store_enabled()
+    assert default_store() is None
+    monkeypatch.setenv("REPRO_ORDERING_CACHE", "1")
+    assert store_enabled()
+    assert default_store() is not None
+
+
+# ---------------------------------------------------------------------------
+# Bench runners: persistent layer + pool workers
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def clean_runner_caches():
+    saved_orderings = dict(runners._ordering_cache)
+    saved_measures = dict(runners._measures_cache)
+    runners._ordering_cache.clear()
+    runners._measures_cache.clear()
+    yield
+    runners._ordering_cache.clear()
+    runners._measures_cache.clear()
+    runners._ordering_cache.update(saved_orderings)
+    runners._measures_cache.update(saved_measures)
+
+
+def test_runner_hits_persistent_store(clean_runner_caches):
+    first = runners.ordering_for("rcm", "euroroad")
+    store = default_store()
+    assert store is not None and store.entry_count() == 1
+    # Drop the in-process memo: the next call must come from disk.
+    runners._ordering_cache.clear()
+    hits_before = store.hits
+    second = runners.ordering_for("rcm", "euroroad")
+    assert store.hits == hits_before + 1
+    assert same_ordering(first, second)
+
+
+def test_pool_round_trip_matches_fresh_compute(clean_runner_caches):
+    pairs = [("rcm", "euroroad"), ("bfs", "euroroad")]
+    runners.warm_orderings(pairs, jobs=2)
+    store = default_store()
+    assert store is not None and store.entry_count() == len(pairs)
+    graph = load("euroroad")
+    for scheme_name, dataset in pairs:
+        pooled = runners.ordering_for(scheme_name, dataset)
+        fresh = get_scheme(scheme_name).order(graph)
+        assert same_ordering(pooled, fresh)
+
+
+def test_runner_works_with_store_disabled(
+    clean_runner_caches, monkeypatch
+):
+    monkeypatch.setenv("REPRO_ORDERING_CACHE", "0")
+    ordering = runners.ordering_for("rcm", "euroroad")
+    fresh = get_scheme("rcm").order(load("euroroad"))
+    assert same_ordering(ordering, fresh)
