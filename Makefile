@@ -18,6 +18,7 @@ bench-paper:
 bench-perf:
 	PYTHONPATH=src python -m repro.bench.perf --check
 	PYTHONPATH=src python -m repro.bench.perf --orderings --check
+	PYTHONPATH=src python -m repro.bench.perf --apps --check
 
 bench-ablations:
 	python -m repro.bench ablation_gorder_window ablation_hub_cutoff \

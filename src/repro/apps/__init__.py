@@ -1,5 +1,9 @@
 """The two application studies: community detection and influence max."""
 
+from .batch import (
+    greedy_seed_selection_vector,
+    sample_rrr_ic_pinned_batch,
+)
 from .delta_stepping import delta_stepping
 from .community_detection import (
     CLOCK_HZ,
@@ -26,6 +30,7 @@ from .influence_max import (
     imm_theta,
     run_influence_maximization,
     sample_rrr_ic,
+    sample_rrr_ic_pinned,
     sample_rrr_lt,
 )
 
@@ -36,8 +41,11 @@ __all__ = [
     "build_sweep_items",
     "RRRSet",
     "sample_rrr_ic",
+    "sample_rrr_ic_pinned",
+    "sample_rrr_ic_pinned_batch",
     "sample_rrr_lt",
     "greedy_seed_selection",
+    "greedy_seed_selection_vector",
     "imm_theta",
     "InfluenceMaxReport",
     "run_influence_maximization",

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..community.louvain import louvain
+from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import apply_ordering
 from ..ordering.base import Ordering
@@ -89,19 +90,71 @@ class CommunityDetectionReport:
         return out
 
 
+def _build_sweep_items_scalar(
+    graph: CSRGraph,
+    communities: np.ndarray | None,
+    line_bytes: int,
+) -> list[WorkItem]:
+    """Scalar ground truth for :func:`build_sweep_items`.
+
+    Per vertex: one ``layout.line`` call per access — the indptr slot,
+    then ``(indices, community id, map probe)`` per adjacency entry, then
+    one tail map probe per distinct neighbouring community in ascending
+    order (the ``sorted(set)`` second pass).
+    """
+    n = graph.num_vertices
+    layout = csr_layout(
+        n,
+        graph.num_directed_edges,
+        line_bytes=line_bytes,
+        extra_vertex_arrays=("map_region",),
+    )
+    if communities is None:
+        communities = np.arange(n, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    items: list[WorkItem] = []
+    for v in range(n):
+        start, end = int(indptr[v]), int(indptr[v + 1])
+        lines = [layout.line("indptr", v)]
+        neighbouring: set[int] = set()
+        for k in range(start, end):
+            u = int(indices[k])
+            cu = int(communities[u])
+            lines.append(layout.line("indices", k))
+            lines.append(layout.line("vdata", u))
+            lines.append(layout.line("map_region", cu % MAP_SLOTS))
+            neighbouring.add(cu)
+        for cu in sorted(neighbouring):
+            lines.append(layout.line("map_region", cu % MAP_SLOTS))
+        items.append(WorkItem(
+            lines=np.asarray(lines, dtype=np.int64),
+            compute_cycles=(
+                VERTEX_COMPUTE_CYCLES
+                + EDGE_COMPUTE_CYCLES * (end - start)
+            ),
+        ))
+    return items
+
+
 def build_sweep_items(
     graph: CSRGraph,
     communities: np.ndarray | None = None,
     *,
     line_bytes: int = 64,
+    engine: str | None = None,
 ) -> list[WorkItem]:
     """One work item per vertex: the hot-routine trace of one sweep.
 
     ``communities`` supplies the community id of each vertex at sweep time
     (defaults to singleton communities — the first iteration's state, where
     ``community[u] == u``, which is also the most ordering-sensitive
-    configuration).
+    configuration).  The vector engine assembles every block with
+    whole-array layout conversions; the scalar reference
+    (:func:`_build_sweep_items_scalar`) emits the same streams one
+    ``layout.line`` call at a time.
     """
+    if resolve_engine(engine) == "scalar":
+        return _build_sweep_items_scalar(graph, communities, line_bytes)
     n = graph.num_vertices
     layout = csr_layout(
         n,

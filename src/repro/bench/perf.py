@@ -13,6 +13,12 @@ permutations, costs, and metadata are bit-identical, times a cold/warm
 cycle of the persistent ordering store, and writes
 ``BENCH_ordering.json``.
 
+**Apps stage** (``--apps``) times the application workloads through both
+engines — batched hash-pinned RRR sampling, array-based greedy seed
+selection, bucketed-array delta-stepping, and the Louvain sweep cost
+model — verifies every vector result is bit-identical to its scalar
+reference, and writes ``BENCH_apps.json``.
+
 * ``--write`` measures and (re)writes the stage's JSON file;
 * ``--check`` measures and fails (exit 1) if bit-identity broke or a
   speedup fell below its floor (``--min-speedup`` for replay and the
@@ -39,6 +45,17 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from ..apps.batch import (
+    greedy_seed_selection_vector,
+    sample_rrr_ic_pinned_batch,
+)
+from ..apps.community_detection import build_sweep_items
+from ..apps.delta_stepping import delta_stepping
+from ..apps.influence_max import (
+    RRRSet,
+    greedy_seed_selection,
+    sample_rrr_ic_pinned,
+)
 from ..apps.kernels import _sweep_items
 from ..datasets.registry import load
 from ..engine import use_engine
@@ -59,12 +76,17 @@ __all__ = [
     "check",
     "measure_orderings",
     "check_orderings",
+    "measure_apps",
+    "check_apps",
     "main",
     "SCHEMA_VERSION",
     "DEFAULT_PATH",
     "ORDERING_PATH",
     "ORDERING_FLOORS",
     "ORDERING_AGGREGATE_FLOOR",
+    "APPS_PATH",
+    "APPS_FLOORS",
+    "APPS_AGGREGATE_FLOOR",
 ]
 
 SCHEMA_VERSION = 1
@@ -99,6 +121,23 @@ ORDERING_FLOORS: dict[str, float] = {
 #: the headline guarantee: summed over all paper schemes, vectorized
 #: ordering construction is at least this much faster than scalar.
 ORDERING_AGGREGATE_FLOOR = 3.0
+
+#: committed apps-stage results, next to the other BENCH files.
+APPS_PATH = Path(__file__).resolve().parents[3] / "BENCH_apps.json"
+
+#: per-workload vector/scalar speedup floors on the largest surrogate —
+#: roughly half the measured ratios so machine noise does not flake the
+#: check.
+APPS_FLOORS: dict[str, float] = {
+    "rrr_sampling": 6.0,
+    "greedy_seeding": 1.8,
+    "delta_stepping": 1.2,
+    "sweep_items": 1.5,
+}
+
+#: the headline guarantee: batched RRR sampling + array greedy seeding
+#: together beat the scalar reference by at least this much.
+APPS_AGGREGATE_FLOOR = 3.0
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -316,6 +355,177 @@ def check_orderings(
     return failures
 
 
+def _rrr_identical(a: list[RRRSet], b: list[RRRSet]) -> bool:
+    """Same roots, vertex visit orders, and edge counts, sample by sample."""
+    return len(a) == len(b) and all(
+        x.root == y.root
+        and np.array_equal(x.vertices, y.vertices)
+        and x.edges_examined == y.edges_examined
+        for x, y in zip(a, b)
+    )
+
+
+def _items_identical(a: list, b: list) -> bool:
+    """Same work-item stream: line sequences and compute cycles."""
+    return len(a) == len(b) and all(
+        np.array_equal(x.lines, y.lines)
+        and x.compute_cycles == y.compute_cycles
+        for x, y in zip(a, b)
+    )
+
+
+def measure_apps(
+    dataset: str = "orkut",
+    *,
+    num_samples: int = 48,
+    probability: float = 0.12,
+    k: int = 16,
+    repeats: int = 1,
+    jobs: int | None = None,
+    seed: int = 7,
+) -> dict:
+    """Time the application workloads through both engines on ``dataset``.
+
+    Four workloads, each checked bit-identical against its scalar
+    reference: hash-pinned IC RRR sampling (batched vs per-sample),
+    greedy seed selection (CSR max-coverage vs Python rescans),
+    delta-stepping SSSP, and the Louvain sweep cost model.
+    """
+    graph = load(dataset)
+    n = graph.num_vertices
+    original_of = np.arange(n, dtype=np.int64)
+    roots = np.random.default_rng(seed).integers(
+        n, size=num_samples
+    ).astype(np.int64)
+    sample_indices = np.arange(num_samples, dtype=np.int64)
+
+    workloads: dict[str, dict] = {}
+
+    def record(name: str, t_vec, vec, t_sca, sca, identical) -> None:
+        workloads[name] = {
+            "vector_s": round(t_vec, 6),
+            "scalar_s": round(t_sca, 6),
+            "speedup": round(
+                t_sca / t_vec if t_vec > 0 else float("inf"), 3
+            ),
+            "identical": identical,
+        }
+
+    t_sca, scalar_sets = _best_of(
+        lambda: [
+            sample_rrr_ic_pinned(
+                graph, probability, int(roots[i]), original_of,
+                int(sample_indices[i]), seed, engine="scalar",
+            )
+            for i in range(num_samples)
+        ],
+        repeats,
+    )
+    t_vec, vector_sets = _best_of(
+        lambda: sample_rrr_ic_pinned_batch(
+            graph, probability, roots, original_of,
+            sample_indices, seed, jobs=jobs,
+        ),
+        repeats,
+    )
+    record(
+        "rrr_sampling", t_vec, vector_sets, t_sca, scalar_sets,
+        _rrr_identical(scalar_sets, vector_sets),
+    )
+
+    t_sca, g_sca = _best_of(
+        lambda: greedy_seed_selection(
+            scalar_sets, n, k, engine="scalar"
+        ),
+        repeats,
+    )
+    t_vec, g_vec = _best_of(
+        lambda: greedy_seed_selection_vector(scalar_sets, n, k),
+        repeats,
+    )
+    record("greedy_seeding", t_vec, g_vec, t_sca, g_sca, g_sca == g_vec)
+
+    t_sca, (d_sca, i_sca) = _best_of(
+        lambda: delta_stepping(graph, 0, engine="scalar"), repeats
+    )
+    t_vec, (d_vec, i_vec) = _best_of(
+        lambda: delta_stepping(graph, 0, engine="vector"), repeats
+    )
+    record(
+        "delta_stepping", t_vec, d_vec, t_sca, d_sca,
+        bool(np.array_equal(d_sca, d_vec))
+        and _items_identical(i_sca, i_vec),
+    )
+
+    t_sca, s_sca = _best_of(
+        lambda: build_sweep_items(graph, engine="scalar"), repeats
+    )
+    t_vec, s_vec = _best_of(
+        lambda: build_sweep_items(graph, engine="vector"), repeats
+    )
+    record(
+        "sweep_items", t_vec, s_vec, t_sca, s_sca,
+        _items_identical(s_sca, s_vec),
+    )
+
+    imm_scalar = (
+        workloads["rrr_sampling"]["scalar_s"]
+        + workloads["greedy_seeding"]["scalar_s"]
+    )
+    imm_vector = (
+        workloads["rrr_sampling"]["vector_s"]
+        + workloads["greedy_seeding"]["vector_s"]
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "dataset": dataset,
+        "num_samples": num_samples,
+        "probability": probability,
+        "k": k,
+        "jobs": jobs,
+        "workloads": workloads,
+        "aggregate": {
+            "scalar_s": round(imm_scalar, 6),
+            "vector_s": round(imm_vector, 6),
+            "speedup": round(
+                imm_scalar / imm_vector
+                if imm_vector > 0 else float("inf"),
+                3,
+            ),
+        },
+    }
+
+
+def check_apps(
+    result: dict,
+    *,
+    min_aggregate: float | None = APPS_AGGREGATE_FLOOR,
+) -> list[str]:
+    """Regression failures in an apps measurement (empty = pass)."""
+    failures: list[str] = []
+    for name, entry in result["workloads"].items():
+        if not entry["identical"]:
+            failures.append(
+                f"{name}: vector result diverged from the scalar "
+                f"reference"
+            )
+    if min_aggregate is not None:
+        aggregate = result["aggregate"]["speedup"]
+        if aggregate < min_aggregate:
+            failures.append(
+                f"aggregate sampling+seeding speedup {aggregate:.2f}x "
+                f"fell below the {min_aggregate:.1f}x floor"
+            )
+        for name, entry in result["workloads"].items():
+            floor = APPS_FLOORS.get(name)
+            if floor is not None and entry["speedup"] < floor:
+                failures.append(
+                    f"{name}: speedup {entry['speedup']:.2f}x fell "
+                    f"below its {floor:.1f}x floor"
+                )
+    return failures
+
+
 def check(result: dict, *, min_speedup: float | None = 3.0) -> list[str]:
     """Regression failures in a measurement (empty list = pass)."""
     failures: list[str] = []
@@ -355,6 +565,21 @@ def main(argv: list[str] | None = None) -> int:
              "(default: the 11 paper schemes)",
     )
     parser.add_argument(
+        "--apps", action="store_true",
+        help="run the apps stage (batched RRR sampling, greedy "
+             "seeding, delta-stepping, sweep cost model) instead of "
+             "trace replay",
+    )
+    parser.add_argument(
+        "--num-samples", type=int, default=48, metavar="S",
+        help="apps stage only: RRR samples to draw (default: 48)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="J",
+        help="apps stage only: worker processes for the batched "
+             "sampler (default: sequential)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="small dataset, one repeat, no speedup floor (CI smoke)",
     )
@@ -387,6 +612,13 @@ def main(argv: list[str] | None = None) -> int:
         result = measure_orderings(
             dataset, schemes=schemes, repeats=repeats
         )
+    elif args.apps:
+        result = measure_apps(
+            dataset,
+            num_samples=16 if args.quick else args.num_samples,
+            repeats=repeats,
+            jobs=args.jobs,
+        )
     else:
         result = measure(dataset, repeats=repeats)
     print(json.dumps(result, indent=2))
@@ -395,12 +627,17 @@ def main(argv: list[str] | None = None) -> int:
         output = args.output
         if args.orderings and output == DEFAULT_PATH:
             output = ORDERING_PATH
+        elif args.apps and output == DEFAULT_PATH:
+            output = APPS_PATH
         output.write_text(json.dumps(result, indent=2) + "\n")
         print(f"[wrote {output}]")
     if args.check or not args.write:
         if args.orderings:
             floor = None if args.quick else ORDERING_AGGREGATE_FLOOR
             failures = check_orderings(result, min_aggregate=floor)
+        elif args.apps:
+            floor = None if args.quick else APPS_AGGREGATE_FLOOR
+            failures = check_apps(result, min_aggregate=floor)
         else:
             floor = None if args.quick else args.min_speedup
             failures = check(result, min_speedup=floor)

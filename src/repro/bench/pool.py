@@ -22,7 +22,7 @@ import multiprocessing
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["map_cells", "set_default_jobs", "default_jobs"]
+__all__ = ["map_cells", "set_default_jobs", "default_jobs", "chunk_evenly"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -41,6 +41,31 @@ def set_default_jobs(jobs: int) -> None:
 def default_jobs() -> int:
     """The process-wide default pool width."""
     return _default_jobs
+
+
+def chunk_evenly(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into at most ``parts`` contiguous spans.
+
+    Returns ``(start, stop)`` pairs covering the range in order, sized as
+    evenly as possible (the first ``count % parts`` spans get one extra
+    element).  This is how the batched RRR sampler shards a sample-index
+    range across pool workers: contiguous spans keep each worker's
+    visited-array epochs dense, and concatenating the per-span results in
+    order reproduces the sequential output exactly.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if count <= 0:
+        return []
+    parts = min(parts, count)
+    base, extra = divmod(count, parts)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
 
 
 def _context() -> multiprocessing.context.BaseContext:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import validate_ordering
 
@@ -74,11 +75,16 @@ def average_gap(graph: CSRGraph, pi: np.ndarray | None = None) -> float:
 
 
 def vertex_bandwidths(
-    graph: CSRGraph, pi: np.ndarray | None = None
+    graph: CSRGraph,
+    pi: np.ndarray | None = None,
+    *,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Per-vertex bandwidth ``beta_i``: max gap from ``i`` to a neighbour.
 
-    Isolated vertices get bandwidth 0.
+    Isolated vertices get bandwidth 0.  The vector engine reduces all
+    per-edge gaps by adjacency segment in one ``np.maximum.reduceat``;
+    the scalar loop is the retained reference.
     """
     n = graph.num_vertices
     if pi is None:
@@ -87,6 +93,18 @@ def vertex_bandwidths(
         ranks = validate_ordering(pi, n)
     beta = np.zeros(n, dtype=np.int64)
     indptr, indices = graph.indptr, graph.indices
+    if resolve_engine(engine) != "scalar":
+        if indices.size == 0:
+            return beta
+        degrees = np.diff(indptr)
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        gaps = np.abs(ranks[indices] - ranks[src])
+        # reduceat segments run start-to-start; restricting starts to
+        # non-isolated vertices makes each segment exactly one adjacency
+        # span (empty spans contribute no positions in between).
+        nonzero = np.flatnonzero(degrees > 0)
+        beta[nonzero] = np.maximum.reduceat(gaps, indptr[nonzero])
+        return beta
     for v in range(n):
         start, end = indptr[v], indptr[v + 1]
         if end > start:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import gather_ranges, resolve_engine
 from ..graph.csr import CSRGraph
 
 __all__ = [
@@ -41,12 +42,15 @@ def vertex_line_fragmentation(
     pi: np.ndarray | None = None,
     *,
     entries_per_line: int = ENTRIES_PER_LINE,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Per-vertex ratio of touched to minimal cache lines.
 
     For vertex ``v`` with degree ``d``, the neighbour ranks under ``pi``
     occupy some set of lines; a perfect layout needs ``ceil(d / L)``.
-    Isolated vertices get ratio 1.0.
+    Isolated vertices get ratio 1.0.  The vector engine counts distinct
+    lines per vertex with one composite-key ``np.unique`` over all edges;
+    the scalar loop is the retained reference.
     """
     n = graph.num_vertices
     ranks = (
@@ -55,6 +59,22 @@ def vertex_line_fragmentation(
     )
     out = np.ones(n, dtype=np.float64)
     indptr, indices = graph.indptr, graph.indices
+    if resolve_engine(engine) != "scalar":
+        if indices.size == 0:
+            return out
+        degrees = np.asarray(
+            indptr[1:] - indptr[:-1], dtype=np.int64
+        )
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        lines = ranks[indices] // entries_per_line
+        lo = lines.min()
+        span = int(lines.max() - lo) + 1
+        distinct = np.unique(src * span + (lines - lo))
+        touched = np.bincount(distinct // span, minlength=n)
+        nonzero = np.flatnonzero(degrees > 0)
+        minimal = -(-degrees[nonzero] // entries_per_line)
+        out[nonzero] = touched[nonzero] / minimal
+        return out
     for v in range(n):
         start, end = int(indptr[v]), int(indptr[v + 1])
         degree = end - start
@@ -174,13 +194,21 @@ def locality_profile(
         else np.asarray(pi, dtype=np.int64)
     )
     order = np.argsort(ranks, kind="stable")
-    stream: list[int] = []
-    for v in order:
-        nbr_lines = ranks[graph.neighbors(int(v))] // ENTRIES_PER_LINE
-        stream.extend(int(x) for x in nbr_lines)
-        if len(stream) >= max_trace:
-            break
-    trace = np.asarray(stream[:max_trace], dtype=np.int64)
+    indptr = np.asarray(graph.indptr, dtype=np.int64)
+    degrees = indptr[1:] - indptr[:-1]
+    # Sweep vertices in rank order until the cumulative neighbour count
+    # reaches max_trace (inclusive of the crossing vertex, which the
+    # truncation below trims), then build the whole trace by gathering
+    # the selected adjacency ranges at once.
+    cumulative = np.cumsum(degrees[order])
+    stop = int(np.searchsorted(cumulative, max_trace)) + 1
+    selected = order[:stop].astype(np.int64)
+    targets = gather_ranges(
+        np.asarray(graph.indices, dtype=np.int64),
+        indptr[selected],
+        indptr[selected + 1],
+    )
+    trace = (ranks[targets] // ENTRIES_PER_LINE)[:max_trace]
     distances = reuse_distances(trace)
     warm = distances[distances >= 0]
     return LocalityProfile(
