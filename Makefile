@@ -1,13 +1,21 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-paper bench-ablations bench-perf \
-	examples clean
+.PHONY: install test lint test-sanitize bench bench-paper bench-ablations \
+	bench-perf examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/ -q
+
+lint:
+	PYTHONPATH=src python -m repro.analysis --jobs 2
+
+test-sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest -x -q \
+		tests/test_engine_equivalence.py tests/test_apps_equivalence.py \
+		tests/test_simulator_batch.py tests/test_analysis_sanitize.py
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

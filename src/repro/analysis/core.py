@@ -1,0 +1,392 @@
+"""reprolint core: rule registry, per-file dispatch, suppressions, baseline.
+
+The static pass makes the repo's determinism discipline checkable at lint
+time instead of only at test time.  The moving parts:
+
+* **Rules** are functions ``FileContext -> Iterable[Finding]`` registered
+  under a kebab-case name with the :func:`rule` decorator
+  (:mod:`repro.analysis.rules` hosts the determinism rule set).
+* **Suppressions** — a ``# reprolint: disable=rule-a,rule-b`` comment on
+  the flagged line silences those rules there; a bare
+  ``# reprolint: disable`` silences every rule on that line.  Each
+  suppression should carry a neighbouring comment saying *why* the
+  finding is a false positive or an accepted hazard.
+* **Baseline** — ``baseline.json`` (committed next to this module) lists
+  findings that predate the linter.  ``python -m repro.analysis`` fails
+  only on findings *not* in the baseline, so the gate can land before
+  the tree is fully clean; baseline entries match on
+  ``(path, rule, message)`` so unrelated line drift does not resurrect
+  them.
+* **Reporters** — text (``file:line:col: rule: message``, one per line)
+  and JSON (machine-readable, used by the tests and CI annotations).
+
+File scanning optionally fans out over :func:`repro.bench.pool.map_cells`
+(``--jobs N``), the same process pool the figure experiments use.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "rule",
+    "available_rules",
+    "rule_help",
+    "scan_source",
+    "scan_paths",
+    "iter_python_files",
+    "module_name_for",
+    "load_baseline",
+    "split_by_baseline",
+    "baseline_entries",
+    "render_text",
+    "render_json",
+    "DEFAULT_BASELINE",
+    "SRC_ROOT",
+    "REPO_ROOT",
+]
+
+#: repository layout anchors (this file lives at src/repro/analysis/).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SRC_ROOT = REPO_ROOT / "src"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a file position.
+
+    ``path`` is repo-root-relative (posix separators) so findings and
+    baseline entries are machine-independent.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line drift."""
+        return (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str
+    rel_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+
+    def finding(
+        self, rule_name: str, node: ast.AST, message: str
+    ) -> Finding:
+        """A :class:`Finding` at ``node``'s position in this file."""
+        return Finding(
+            rule=rule_name,
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+RuleFunc = Callable[[FileContext], Iterable[Finding]]
+
+_RULES: dict[str, RuleFunc] = {}
+_RULE_HELP: dict[str, str] = {}
+
+
+def rule(name: str, help: str = "") -> Callable[[RuleFunc], RuleFunc]:
+    """Register a rule function under ``name`` (kebab-case)."""
+
+    def decorate(fn: RuleFunc) -> RuleFunc:
+        _RULES[name] = fn
+        _RULE_HELP[name] = help or (fn.__doc__ or "").strip().splitlines()[0]
+        return fn
+
+    return decorate
+
+
+def _ensure_rules() -> None:
+    """Import the rule set exactly once (registry side effect)."""
+    if not _RULES:
+        from . import rules  # noqa: F401  (registration side effect)
+
+
+def available_rules() -> list[str]:
+    """Sorted names of every registered rule."""
+    _ensure_rules()
+    return sorted(_RULES)
+
+
+def rule_help() -> dict[str, str]:
+    """Rule name -> one-line description."""
+    _ensure_rules()
+    return dict(sorted(_RULE_HELP.items()))
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\- ]+))?"
+)
+
+#: sentinel meaning "every rule" in a suppression set.
+_ALL = "*"
+
+
+def _suppressions(line_text: str) -> frozenset[str] | None:
+    """Rules disabled on this physical line (None = no marker)."""
+    match = _SUPPRESS_RE.search(line_text)
+    if match is None:
+        return None
+    names = match.group("rules")
+    if names is None:
+        return frozenset({_ALL})
+    return frozenset(
+        part.strip() for part in names.split(",") if part.strip()
+    )
+
+
+def _is_suppressed(finding: Finding, lines: list[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    disabled = _suppressions(lines[finding.line - 1])
+    return disabled is not None and (
+        _ALL in disabled or finding.rule in disabled
+    )
+
+
+# ----------------------------------------------------------------------
+# Scanning
+# ----------------------------------------------------------------------
+def module_name_for(path: Path, src_root: Path | None = None) -> str:
+    """Dotted module name of ``path`` relative to ``src_root``."""
+    root = src_root if src_root is not None else SRC_ROOT
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def scan_source(
+    source: str,
+    *,
+    rel_path: str,
+    module: str,
+    path: str = "<memory>",
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the rule set over one source string; suppressions applied."""
+    _ensure_rules()
+    names = list(rules) if rules is not None else available_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="parse-error",
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        rel_path=rel_path,
+        module=module,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    findings: list[Finding] = []
+    for name in names:
+        try:
+            checker = _RULES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown rule {name!r}; available: {available_rules()}"
+            ) from None
+        findings.extend(checker(ctx))
+    kept = [f for f in findings if not _is_suppressed(f, ctx.lines)]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def iter_python_files(root: Path) -> list[Path]:
+    """All ``.py`` files under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        return [root]
+    return sorted(p for p in root.rglob("*.py"))
+
+
+def _scan_cell(cell: tuple[str, str, str, tuple[str, ...] | None]) -> list[dict]:
+    """Pool worker: scan one file, return findings as plain dicts."""
+    path, rel_path, module, rules = cell
+    source = Path(path).read_text()
+    found = scan_source(
+        source,
+        rel_path=rel_path,
+        module=module,
+        path=path,
+        rules=list(rules) if rules is not None else None,
+    )
+    return [asdict(f) for f in found]
+
+
+def scan_paths(
+    paths: Iterable[Path],
+    *,
+    src_root: Path | None = None,
+    repo_root: Path | None = None,
+    rules: Sequence[str] | None = None,
+    jobs: int = 1,
+) -> list[Finding]:
+    """Scan many files, optionally fanning out over the bench pool."""
+    repo = (repo_root if repo_root is not None else REPO_ROOT).resolve()
+    files: list[Path] = []
+    for entry in paths:
+        files.extend(iter_python_files(Path(entry)))
+    cells = []
+    for file in files:
+        resolved = file.resolve()
+        try:
+            rel = resolved.relative_to(repo).as_posix()
+        except ValueError:
+            rel = resolved.as_posix()
+        cells.append(
+            (
+                str(resolved),
+                rel,
+                module_name_for(resolved, src_root),
+                tuple(rules) if rules is not None else None,
+            )
+        )
+    from ..bench.pool import map_cells
+
+    rows = map_cells(_scan_cell, cells, jobs=jobs)
+    findings = [Finding(**record) for row in rows for record in row]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: Path | None = None) -> list[dict]:
+    """Baseline entries (empty when the file is absent)."""
+    target = path if path is not None else DEFAULT_BASELINE
+    if not Path(target).exists():
+        return []
+    data = json.loads(Path(target).read_text())
+    return list(data.get("findings", []))
+
+
+def baseline_entries(findings: Iterable[Finding]) -> dict:
+    """The JSON document ``--write-baseline`` persists."""
+    return {
+        "comment": (
+            "Findings accepted before the lint gate landed; shrink to "
+            "zero by fixing or by suppressing inline with a reason."
+        ),
+        "findings": [
+            {
+                "path": f.path,
+                "rule": f.rule,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: Sequence[dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """``(new, baselined, stale)`` partition of ``findings``.
+
+    A baseline entry matches on ``(path, rule, message)``; entries that
+    no longer fire are *stale* and should be pruned from the file.
+    """
+    keys = {(e["path"], e["rule"], e["message"]) for e in baseline}
+    new = [f for f in findings if f.key not in keys]
+    old = [f for f in findings if f.key in keys]
+    live = {f.key for f in findings}
+    stale = [
+        e for e in baseline
+        if (e["path"], e["rule"], e["message"]) not in live
+    ]
+    return new, old, stale
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    stale: Sequence[dict] = (),
+    *,
+    files_scanned: int | None = None,
+) -> str:
+    """Human-readable report: one ``file:line:col`` finding per line."""
+    out: list[str] = []
+    for finding in new:
+        out.append(finding.render())
+    for finding in baselined:
+        out.append(f"{finding.render()} [baselined]")
+    for entry in stale:
+        out.append(
+            f"{entry['path']}: stale baseline entry for rule "
+            f"{entry['rule']!r} (no longer fires; prune it)"
+        )
+    summary = (
+        f"{len(new)} finding(s), {len(baselined)} baselined, "
+        f"{len(stale)} stale baseline entr(ies)"
+    )
+    if files_scanned is not None:
+        summary += f" across {files_scanned} file(s)"
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    stale: Sequence[dict] = (),
+    *,
+    files_scanned: int | None = None,
+) -> str:
+    """Machine-readable report mirroring :func:`render_text`."""
+    return json.dumps(
+        {
+            "findings": [asdict(f) for f in new],
+            "baselined": [asdict(f) for f in baselined],
+            "stale_baseline": list(stale),
+            "files_scanned": files_scanned,
+        },
+        indent=2,
+    )

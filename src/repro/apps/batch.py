@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis import sanitize
 from ..engine import gather_neighbors, gather_ranges
 from ..graph.csr import CSRGraph
 
@@ -85,6 +86,7 @@ def _first_occurrence(keys: np.ndarray) -> np.ndarray:
     return first
 
 
+@sanitize.guarded
 def _sample_pinned_block(
     graph: CSRGraph,
     probability: float,
@@ -189,6 +191,10 @@ def sample_rrr_ic_pinned_batch(
     determinism per sample index makes the parallel result identical to
     the sequential one.
     """
+    sanitize.check_integral(roots, where="sample_rrr_ic_pinned_batch(roots)")
+    sanitize.check_integral(
+        sample_indices, where="sample_rrr_ic_pinned_batch(sample_indices)"
+    )
     roots = np.asarray(roots, dtype=np.int64)
     sample_indices = np.asarray(sample_indices, dtype=np.int64)
     if roots.shape != sample_indices.shape:
@@ -228,6 +234,7 @@ def sample_rrr_ic_pinned_batch(
     return out
 
 
+@sanitize.guarded
 def greedy_seed_selection_vector(
     rrr_sets: list,
     num_vertices: int,

@@ -80,6 +80,8 @@ __all__ = [
     "check_apps",
     "main",
     "SCHEMA_VERSION",
+    "STAGES",
+    "DEFAULT_MIN_SPEEDUP",
     "DEFAULT_PATH",
     "ORDERING_PATH",
     "ORDERING_FLOORS",
@@ -90,6 +92,19 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
+
+#: replay speedup floor guarded by the default stage's --check.
+DEFAULT_MIN_SPEEDUP = 3.0
+
+#: stage registry, cross-checked by the engine-parity contract checker
+#: (repro.analysis.contracts): every measure* function must appear here
+#: with its CLI flag (None = the default replay stage) and the name of
+#: the module-level aggregate-floor constant `make bench-perf` enforces.
+STAGES = {
+    "replay": {"flag": None, "floor": "DEFAULT_MIN_SPEEDUP"},
+    "orderings": {"flag": "--orderings", "floor": "ORDERING_AGGREGATE_FLOOR"},
+    "apps": {"flag": "--apps", "floor": "APPS_AGGREGATE_FLOOR"},
+}
 
 #: committed location: repository root, next to ROADMAP.md.
 DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
@@ -592,8 +607,10 @@ def main(argv: list[str] | None = None) -> int:
         help="fail if replay identity or the speedup floor regressed",
     )
     parser.add_argument(
-        "--min-speedup", type=float, default=3.0, metavar="X",
-        help="replay speedup floor for --check (default: 3.0)",
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        metavar="X",
+        help=f"replay speedup floor for --check "
+             f"(default: {DEFAULT_MIN_SPEEDUP})",
     )
     parser.add_argument(
         "--output", type=Path, default=DEFAULT_PATH, metavar="PATH",

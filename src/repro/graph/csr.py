@@ -19,6 +19,8 @@ from typing import Iterable, Iterator, Tuple
 
 import numpy as np
 
+from ..analysis import sanitize
+
 __all__ = ["CSRGraph"]
 
 
@@ -55,6 +57,7 @@ class CSRGraph:
         indices: np.ndarray,
         weights: np.ndarray | None = None,
     ) -> None:
+        raw_indptr, raw_indices = indptr, indices
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         if indptr.ndim != 1 or indices.ndim != 1:
@@ -77,6 +80,18 @@ class CSRGraph:
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != indices.shape:
                 raise ValueError("weights must align with indices")
+        if sanitize.enabled():
+            # Structural errors already raised ValueError above; this adds
+            # the checks the cheap validation skips — the caller's arrays
+            # must already be integral (the int64 coercion above would
+            # silently truncate floats) and wide enough to address every
+            # edge, and weights must be finite.
+            sanitize.check_csr(
+                np.asarray(raw_indptr),
+                np.asarray(raw_indices),
+                weights,
+                where="CSRGraph",
+            )
         self._indptr = indptr
         self._indices = indices
         self._weights = weights

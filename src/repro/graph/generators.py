@@ -171,7 +171,7 @@ def barabasi_albert(
         while len(chosen) < m:
             pick = endpoint_pool[int(rng.integers(len(endpoint_pool)))]
             chosen.add(pick)
-        for v in chosen:
+        for v in sorted(chosen):
             builder.add_edge(u, v)
             endpoint_pool.append(v)
         endpoint_pool.extend([u] * m)

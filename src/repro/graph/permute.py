@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis import sanitize
 from .csr import CSRGraph
 
 __all__ = [
@@ -51,6 +52,7 @@ def is_valid_ordering(pi: np.ndarray, num_vertices: int | None = None) -> bool:
 
 def validate_ordering(pi: np.ndarray, num_vertices: int | None = None) -> np.ndarray:
     """Return ``pi`` as an int64 array, raising if it is not a permutation."""
+    sanitize.check_integral(pi, where="validate_ordering")
     pi = np.asarray(pi, dtype=np.int64)
     if not is_valid_ordering(pi, num_vertices):
         raise ValueError("ordering is not a valid permutation")

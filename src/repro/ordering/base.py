@@ -48,15 +48,15 @@ class OperationCounter:
 
     def count_vertices(self, n: int = 1) -> None:
         """Record ``n`` vertex-level operations."""
-        self.vertex_ops += n
+        self.vertex_ops += int(n)
 
     def count_edges(self, n: int = 1) -> None:
         """Record ``n`` edge traversals."""
-        self.edge_ops += n
+        self.edge_ops += int(n)
 
     def count_compares(self, n: int = 1) -> None:
         """Record ``n`` comparison operations (sorting, heap updates)."""
-        self.compare_ops += n
+        self.compare_ops += int(n)
 
     def count_sort(self, n: int) -> None:
         """Record the comparisons of sorting ``n`` items (n log2 n)."""
@@ -72,6 +72,14 @@ class OperationCounter:
         :meth:`count_sort` calls.
         """
         sizes = np.asarray(sizes)
+        if not np.issubdtype(sizes.dtype, np.integer):
+            raise TypeError(
+                "count_sort_batch requires integer sizes, got dtype "
+                f"{sizes.dtype}"
+            )
+        # Promote narrow dtypes before the log2 product so a large level
+        # cannot overflow a caller-supplied int16/int32 intermediate.
+        sizes = sizes.astype(np.int64, copy=False)
         sizes = sizes[sizes > 1]
         if sizes.size:
             self.compare_ops += int(

@@ -33,6 +33,7 @@ import ctypes
 
 import numpy as np
 
+from ..analysis import sanitize
 from . import _native
 from .cache import Cache
 from .hierarchy import MemoryHierarchy, ThreadCounters
@@ -49,6 +50,7 @@ __all__ = [
 
 def _as_line_array(lines) -> np.ndarray:
     """The line stream as a contiguous one-dimensional int64 array."""
+    sanitize.check_integral(lines, where="simulator line stream")
     return np.ascontiguousarray(np.asarray(lines, dtype=np.int64).ravel())
 
 
@@ -310,6 +312,7 @@ def hierarchy_access_batch(
     return levels
 
 
+@sanitize.guarded
 def run_exact_region(
     hierarchy: MemoryHierarchy,
     per_thread_items,

@@ -165,7 +165,7 @@ class SimulatedMachine:
         live = set(range(self.num_threads))
         while live:
             finished = []
-            for t in live:
+            for t in sorted(live):
                 item = next(iters[t], None)
                 if item is None:
                     finished.append(t)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis import sanitize
 from repro.graph import CSRGraph, from_edges
 
 
@@ -16,6 +17,19 @@ def _isolated_ordering_cache(tmp_path, monkeypatch):
     seeing entries persisted by other tests or earlier runs.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _numeric_sanitizer():
+    """Arm the numeric sanitizer for every test when REPRO_SANITIZE=1.
+
+    When the switch is unset this yields inside a null context and costs
+    nothing; with ``REPRO_SANITIZE=1`` (the CI equivalence legs) every
+    test body runs with numpy raising on float overflow/invalid, plus
+    the boundary checks in :mod:`repro.analysis.sanitize` active.
+    """
+    with sanitize.sanitized():
+        yield
 
 
 def make_path(n: int) -> CSRGraph:
