@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint test-sanitize bench bench-paper bench-ablations \
-	bench-perf examples clean
+.PHONY: install test lint test-sanitize test-faults bench bench-paper \
+	bench-ablations bench-perf examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,14 @@ test-sanitize:
 	REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest -x -q \
 		tests/test_engine_equivalence.py tests/test_apps_equivalence.py \
 		tests/test_simulator_batch.py tests/test_analysis_sanitize.py
+
+test-faults:
+	REPRO_FAULTS="worker-crash:p=0.2:seed=1" REPRO_SANITIZE=1 \
+		PYTHONPATH=src python -m pytest -x -q \
+		tests/test_bench_pool.py tests/test_ordering_store.py \
+		tests/test_resilience_supervisor.py \
+		tests/test_resilience_faults.py tests/test_resilience_journal.py
+	sh scripts/chaos_resume_check.sh
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

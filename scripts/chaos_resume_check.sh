@@ -1,0 +1,44 @@
+#!/bin/sh
+# Kill/resume cycle for the run journal (the `make test-faults` leg):
+#   1. abort a journaled bench run deterministically after 3 records,
+#   2. resume it and require a complete, degradation-free run,
+#   3. resume again and require zero recomputed-from-scratch cells.
+# Run from the repo root.
+set -eu
+
+CACHE=$(mktemp -d)
+trap 'rm -rf "$CACHE"' EXIT
+RUN=chaos-resume
+export PYTHONPATH=src
+export REPRO_CACHE_DIR="$CACHE"
+unset REPRO_FAULTS 2>/dev/null || true
+GRID="fig1 --datasets euroroad --schemes natural,random"
+
+echo "== leg 1: deterministic abort after 3 journal records"
+set +e
+REPRO_FAULTS="run-abort:after=3" python -m repro.bench $GRID \
+    --run-id "$RUN" >/dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 3 ]; then
+    echo "FAIL: expected abort exit code 3, got $status" >&2
+    exit 1
+fi
+
+echo "== leg 2: resume finishes the missing cells"
+out=$(python -m repro.bench --resume "$RUN")
+echo "$out" | grep -q "0 degraded" || {
+    echo "FAIL: resumed run still has degraded cells" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+}
+
+echo "== leg 3: second resume replays everything (computed=0)"
+out=$(python -m repro.bench --resume "$RUN")
+echo "$out" | grep -q "computed=0" || {
+    echo "FAIL: second resume recomputed cells from scratch" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+}
+
+echo "chaos resume check: OK"

@@ -50,12 +50,17 @@ SANCTIONED_ENV_MODULES = frozenset(
         "repro.ordering.store",
         "repro.simulator._native",
         "repro.analysis.sanitize",
+        "repro.resilience.faults",
+        "repro.resilience.journal",
     }
 )
 
 #: module prefixes where wall-clock readings are the point (timing
-#: harnesses), not a determinism hazard.
-WALL_CLOCK_EXEMPT_PREFIXES = ("repro.bench", "repro.analysis")
+#: harnesses) or supervision plumbing (timeouts, backoff), not a
+#: determinism hazard — result *values* stay wall-clock free.
+WALL_CLOCK_EXEMPT_PREFIXES = (
+    "repro.bench", "repro.analysis", "repro.resilience",
+)
 
 #: numpy.random module-level functions backed by hidden global state.
 LEGACY_NUMPY_RANDOM = frozenset(

@@ -63,6 +63,7 @@ from ..measures.gaps import gap_measures
 from ..ordering import PAPER_SCHEMES
 from ..ordering.base import Ordering, get_scheme
 from ..ordering.store import OrderingStore
+from ..resilience.journal import RunJournal, cell_key
 from ..simulator import hit_ratio_curve, lru_stack_distances
 from ..simulator.parallel import (
     ExecutionResult,
@@ -620,24 +621,53 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=3, metavar="N",
         help="wall-clock repeats per stage, best-of (default: 3)",
     )
+    parser.add_argument(
+        "--run-id", metavar="ID", default=None,
+        help="journal the stage result under $REPRO_CACHE_DIR/runs/ID; "
+             "a rerun with the same id replays it without re-measuring",
+    )
     args = parser.parse_args(argv)
 
     dataset = "livemocha" if args.quick else args.dataset
     repeats = 1 if args.quick else args.repeats
-    if args.orderings:
-        schemes = args.schemes.split(",") if args.schemes else None
-        result = measure_orderings(
-            dataset, schemes=schemes, repeats=repeats
-        )
-    elif args.apps:
-        result = measure_apps(
-            dataset,
-            num_samples=16 if args.quick else args.num_samples,
-            repeats=repeats,
-            jobs=args.jobs,
-        )
+    stage = "orderings" if args.orderings else (
+        "apps" if args.apps else "replay"
+    )
+    journal = RunJournal(args.run_id) if args.run_id else None
+    stage_key = cell_key(
+        "perf", stage, dataset, repeats, args.schemes,
+        args.num_samples, args.jobs, bool(args.quick),
+    )
+    entry = journal.lookup(stage_key) if journal is not None else None
+    if (
+        entry is not None
+        and entry.get("status") == "ok"
+        and isinstance(entry.get("value"), dict)
+    ):
+        result = entry["value"]
+        journal.mark_replayed(stage_key)
+        print(f"[replayed {stage} stage from run {args.run_id}]",
+              file=sys.stderr)
     else:
-        result = measure(dataset, repeats=repeats)
+        if args.orderings:
+            schemes = args.schemes.split(",") if args.schemes else None
+            result = measure_orderings(
+                dataset, schemes=schemes, repeats=repeats
+            )
+        elif args.apps:
+            result = measure_apps(
+                dataset,
+                num_samples=16 if args.quick else args.num_samples,
+                repeats=repeats,
+                jobs=args.jobs,
+            )
+        else:
+            result = measure(dataset, repeats=repeats)
+        if journal is not None:
+            journal.record(
+                stage_key, kind="perf", status="ok",
+                label=f"perf:{stage}:{dataset}", value=result,
+            )
     print(json.dumps(result, indent=2))
 
     if args.write:

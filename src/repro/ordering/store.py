@@ -22,6 +22,14 @@ can share one cache directory without corruption; the worst case is two
 workers computing the same entry and one harmlessly overwriting the other
 with identical bytes.
 
+The store is **self-healing**: every entry records a sha256 over its
+payload (permutation bytes, cost, metadata, schema version) at write
+time, and loads verify it.  A corrupt, truncated, or stale-schema entry
+is quarantined to ``<entry>.bad`` and treated as a miss — it gets
+recomputed and rewritten, and no exception ever escapes the store.  The
+``cache-corrupt`` fault of :mod:`repro.resilience.faults` tears entries
+deliberately so this recovery path stays property-tested.
+
 Set ``REPRO_ORDERING_CACHE=0`` to disable the persistent layer entirely
 (the in-process memo in :mod:`repro.bench.runners` still applies).
 """
@@ -33,10 +41,12 @@ import io
 import json
 import os
 import tempfile
+import zipfile
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..resilience import faults
 from .base import Ordering, OrderingScheme
 
 __all__ = [
@@ -53,7 +63,23 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_SWITCH = "REPRO_ORDERING_CACHE"
 
 #: bump to invalidate every persisted entry at once (format changes).
-_FORMAT_VERSION = 1
+#: v2 added the per-entry schema tag and payload checksum.
+_FORMAT_VERSION = 2
+
+#: every array an entry must carry; anything less is a stale schema.
+_REQUIRED_FIELDS = frozenset(
+    {"permutation", "cost", "metadata", "schema", "checksum"}
+)
+
+#: parse-level failures a damaged npz can raise; anything in here is
+#: treated as corruption (quarantine + miss), never propagated.
+_CORRUPTION_ERRORS = (
+    OSError,
+    EOFError,
+    KeyError,
+    ValueError,
+    zipfile.BadZipFile,
+)
 
 
 def store_enabled() -> bool:
@@ -70,6 +96,7 @@ class OrderingStore:
         self.root = os.path.join(root, "orderings")
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -92,20 +119,69 @@ class OrderingStore:
     # ------------------------------------------------------------------
     # Load / store
     # ------------------------------------------------------------------
+    @staticmethod
+    def _payload_digest(
+        permutation: np.ndarray, cost: int, metadata_json: str
+    ) -> str:
+        """sha256 over everything an entry stores (the write-time seal)."""
+        digest = hashlib.sha256()
+        digest.update(
+            f"fmt{_FORMAT_VERSION}:{int(cost)}:{metadata_json}:".encode()
+        )
+        digest.update(
+            np.ascontiguousarray(permutation, dtype=np.int64).tobytes()
+        )
+        return digest.hexdigest()
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a damaged entry aside as ``<entry>.bad`` (never raises).
+
+        Quarantined files keep the evidence for post-mortems without
+        ever being picked up as cache entries again; the caller treats
+        the slot as a miss and recomputes.
+        """
+        try:
+            os.replace(path, path + ".bad")
+            self.quarantined += 1
+        except OSError:
+            return
+        del reason  # kept in the signature for call-site readability
+
     def load(
         self, graph: CSRGraph, scheme: OrderingScheme
     ) -> Ordering | None:
-        """The cached ordering, or ``None`` on a miss (counted)."""
+        """The cached ordering, or ``None`` on a miss (counted).
+
+        Damaged entries — truncated archives, checksum mismatches,
+        stale schemas, wrong-sized permutations — are quarantined to
+        ``<entry>.bad`` and reported as a miss; no exception escapes.
+        """
         path = self.entry_path(graph, scheme)
         try:
             with np.load(path, allow_pickle=False) as bundle:
+                if not _REQUIRED_FIELDS <= set(bundle.files):
+                    self._quarantine(path, "stale schema (missing fields)")
+                    self.misses += 1
+                    return None
+                if int(bundle["schema"]) != _FORMAT_VERSION:
+                    self._quarantine(path, "stale schema version")
+                    self.misses += 1
+                    return None
                 permutation = bundle["permutation"].astype(np.int64)
                 cost = int(bundle["cost"])
-                metadata = json.loads(str(bundle["metadata"]))
-        except (OSError, KeyError, ValueError):
+                metadata_json = str(bundle["metadata"])
+                checksum = str(bundle["checksum"])
+        except _CORRUPTION_ERRORS:
+            if os.path.isfile(path):
+                self._quarantine(path, "unreadable entry")
+            self.misses += 1
+            return None
+        if checksum != self._payload_digest(permutation, cost, metadata_json):
+            self._quarantine(path, "checksum mismatch")
             self.misses += 1
             return None
         if permutation.size != graph.num_vertices:
+            self._quarantine(path, "wrong-sized permutation (stale entry)")
             self.misses += 1
             return None
         self.hits += 1
@@ -113,22 +189,34 @@ class OrderingStore:
             scheme=scheme.name,
             permutation=permutation,
             cost=cost,
-            metadata=metadata,
+            metadata=json.loads(metadata_json),
         )
 
     def store(
         self, graph: CSRGraph, scheme: OrderingScheme, ordering: Ordering
     ) -> str:
-        """Persist ``ordering`` atomically; returns the entry path."""
+        """Persist ``ordering`` atomically; returns the entry path.
+
+        The entry carries its schema version and a sha256 over the full
+        payload so :meth:`load` can verify it byte-for-byte.  The
+        ``cache-corrupt`` injected fault tears the freshly written entry
+        here (a simulated torn write) to keep the recovery path tested.
+        """
         path = self.entry_path(graph, scheme)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
+        permutation = ordering.permutation.astype(np.int64)
+        metadata_json = json.dumps(ordering.metadata, sort_keys=True)
         payload = io.BytesIO()
         np.savez(
             payload,
-            permutation=ordering.permutation.astype(np.int64),
+            permutation=permutation,
             cost=np.int64(ordering.cost),
-            metadata=json.dumps(ordering.metadata, sort_keys=True),
+            metadata=metadata_json,
+            schema=np.int64(_FORMAT_VERSION),
+            checksum=self._payload_digest(
+                permutation, ordering.cost, metadata_json
+            ),
         )
         fd, tmp_path = tempfile.mkstemp(
             dir=directory, prefix=".tmp-", suffix=".npz"
@@ -143,6 +231,7 @@ class OrderingStore:
             except OSError:
                 pass
             raise
+        faults.maybe_cache_corrupt(path)
         return path
 
     def get_or_compute(
@@ -180,10 +269,20 @@ class OrderingStore:
         return removed
 
     def entry_count(self) -> int:
-        """Number of persisted entries."""
+        """Number of persisted (live) entries."""
         count = 0
         for _dirpath, _dirnames, filenames in os.walk(self.root):
-            count += sum(1 for f in filenames if f.endswith(".npz"))
+            count += sum(
+                1 for f in filenames
+                if f.endswith(".npz") and not f.startswith(".tmp-")
+            )
+        return count
+
+    def quarantined_count(self) -> int:
+        """Number of quarantined ``.bad`` files currently on disk."""
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for f in filenames if f.endswith(".bad"))
         return count
 
 

@@ -1,0 +1,317 @@
+"""Deterministic fault injection at the pool / store / runner seams.
+
+``REPRO_FAULTS=<spec>`` plants faults inside the execution substrate so
+the recovery paths (retry, respawn, quarantine, resume) are exercised by
+tests instead of waiting for production to exercise them.  The schedule
+is a pure function of the spec: decisions are derived by hashing
+``(seed, site key)`` through sha256, so the same spec and seed always
+reproduce the same fault schedule — no RNG state, no wall-clock jitter —
+satisfying the reprolint determinism rules.
+
+Spec grammar (``;``-separated clauses, ``:``-separated fields)::
+
+    spec    := clause (";" clause)*
+    clause  := kind (":" name "=" value)*
+    kind    := "worker-crash" | "cache-corrupt" | "cell-timeout"
+             | "run-abort"
+    params  := p=<float in [0,1]>   fire probability      (default 1)
+               seed=<int>           schedule seed          (default 0)
+               cells=<i,j,...>      restrict to cell indices
+               after=<int>          run-abort: abort once this many
+                                    journal records were written
+
+Examples::
+
+    REPRO_FAULTS="worker-crash:p=0.1:seed=7"
+    REPRO_FAULTS="cache-corrupt"
+    REPRO_FAULTS="cell-timeout:p=0.5:seed=3;worker-crash:p=1:cells=2"
+    REPRO_FAULTS="run-abort:after=2"
+
+Fault kinds and their seams:
+
+``worker-crash``
+    The supervised pool's worker wrapper.  In a pool worker process the
+    fault is *hard* — ``os._exit`` — so the supervisor's death detection
+    and respawn path runs; in the sequential (``jobs=1``) path it raises
+    :class:`InjectedFault`, exercising the retry path.
+``cell-timeout``
+    Same seam.  In a pool worker the cell stalls past the supervisor's
+    deadline (killed + retried); sequentially it raises.
+``cache-corrupt``
+    :class:`repro.ordering.store.OrderingStore` truncates the entry it
+    just wrote (a simulated torn write), so the checksum verification and
+    quarantine path runs on the next load.
+``run-abort``
+    The run journal raises :class:`RunAborted` after ``after`` records —
+    a deterministic stand-in for ``kill -9`` mid-run, driving the
+    ``--resume`` kill/resume cycle in CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import time
+
+__all__ = [
+    "ENV_FAULTS",
+    "KINDS",
+    "CRASH_EXIT_CODE",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "RunAborted",
+    "parse_spec",
+    "active_plan",
+    "maybe_worker_crash",
+    "maybe_cell_timeout",
+    "maybe_cache_corrupt",
+    "maybe_run_abort",
+]
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: the recognised fault kinds (see module docstring for their seams).
+KINDS = ("worker-crash", "cache-corrupt", "cell-timeout", "run-abort")
+
+#: exit code of a hard injected worker crash (visible in CellResult errors).
+CRASH_EXIT_CODE = 73
+
+
+class InjectedFault(RuntimeError):
+    """An injected fault firing on a sequential (in-process) path."""
+
+
+class RunAborted(RuntimeError):
+    """An injected mid-run abort (deterministic ``kill -9`` stand-in)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One parsed clause of a ``REPRO_FAULTS`` spec."""
+
+    kind: str
+    p: float = 1.0
+    seed: int = 0
+    cells: tuple[int, ...] | None = None
+    after: int | None = None
+
+
+def _unit(seed: int, key: str) -> float:
+    """A deterministic draw in ``[0, 1)`` from ``(seed, key)``."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def parse_spec(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS`` value into fault clauses (fail loud)."""
+    specs: list[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, rest = clause.partition(":")
+        kind = kind.strip()
+        if kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {KINDS}"
+            )
+        fields: dict[str, object] = {"kind": kind}
+        if rest:
+            for param in rest.split(":"):
+                name, sep, value = param.partition("=")
+                name = name.strip()
+                if not sep:
+                    raise ValueError(
+                        f"malformed fault parameter {param!r} in "
+                        f"{clause!r} (expected name=value)"
+                    )
+                if name == "p":
+                    p = float(value)
+                    if not 0.0 <= p <= 1.0:
+                        raise ValueError(f"fault probability {p} not in [0, 1]")
+                    fields["p"] = p
+                elif name == "seed":
+                    fields["seed"] = int(value)
+                elif name == "cells":
+                    fields["cells"] = tuple(
+                        int(c) for c in value.split(",") if c.strip()
+                    )
+                elif name == "after":
+                    fields["after"] = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown fault parameter {name!r} in {clause!r}"
+                    )
+        specs.append(FaultSpec(**fields))  # type: ignore[arg-type]
+    return tuple(specs)
+
+
+class FaultPlan:
+    """A parsed fault spec plus the per-process injection state.
+
+    ``decide`` is pure — the same ``(kind, key, cell)`` always returns
+    the same answer for a given spec — while the plan object carries the
+    small amount of per-process bookkeeping injection needs (per-entry
+    corruption counters, the one-shot abort latch).
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...]) -> None:
+        self.specs = specs
+        self._by_kind = {spec.kind: spec for spec in specs}
+        self._entry_counts: dict[str, int] = {}
+        self._aborted = False
+
+    def spec_for(self, kind: str) -> FaultSpec | None:
+        """The clause covering ``kind``, or ``None``."""
+        return self._by_kind.get(kind)
+
+    def decide(self, kind: str, key: str, cell: int | None = None) -> bool:
+        """Whether the fault of ``kind`` fires at injection site ``key``."""
+        spec = self._by_kind.get(kind)
+        if spec is None:
+            return False
+        if spec.cells is not None and (
+            cell is None or cell not in spec.cells
+        ):
+            return False
+        if spec.p >= 1.0:
+            return True
+        return _unit(spec.seed, f"{kind}:{key}") < spec.p
+
+    def schedule(
+        self, kind: str, keys: list[str], cells: list[int] | None = None
+    ) -> list[bool]:
+        """The fire/skip decisions over ``keys`` (pure; for tests)."""
+        if cells is None:
+            return [self.decide(kind, key) for key in keys]
+        return [
+            self.decide(kind, key, cell)
+            for key, cell in zip(keys, cells)
+        ]
+
+    def next_entry_count(self, entry: str) -> int:
+        """How many times ``entry`` was probed before (then increment)."""
+        nth = self._entry_counts.get(entry, 0)
+        self._entry_counts[entry] = nth + 1
+        return nth
+
+
+_PLANS: dict[str, FaultPlan] = {}
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan parsed from ``$REPRO_FAULTS``, or ``None`` when unset.
+
+    Re-reads the environment on every call (tests repoint it); the plan
+    instance is cached per spec string so per-process injection state
+    (corruption counters, the abort latch) survives between calls.
+    """
+    text = os.environ.get(ENV_FAULTS, "").strip()
+    if not text:
+        return None
+    plan = _PLANS.get(text)
+    if plan is None:
+        plan = FaultPlan(parse_spec(text))
+        _PLANS[text] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Injection helpers (called at the seams)
+# ---------------------------------------------------------------------------
+def _cell_site(index: int, attempt: int) -> str:
+    return f"cell:{index}:attempt:{attempt}"
+
+
+def maybe_worker_crash(index: int, attempt: int, *, hard: bool) -> None:
+    """Crash the current worker for ``(cell, attempt)`` if scheduled.
+
+    ``hard=True`` (a supervised pool worker) dies with ``os._exit`` so
+    the supervisor sees genuine process death; ``hard=False`` (the
+    sequential path) raises :class:`InjectedFault` instead.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.decide("worker-crash", _cell_site(index, attempt), cell=index):
+        if hard:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedFault(
+            f"injected worker-crash at cell {index} attempt {attempt}"
+        )
+
+
+def maybe_cell_timeout(
+    index: int, attempt: int, *, stall_seconds: float | None
+) -> None:
+    """Stall (or fail) the current cell for ``(cell, attempt)``.
+
+    With a stall duration (a supervised worker under a configured
+    timeout) the cell sleeps past its deadline so the supervisor's
+    kill-and-retry path runs; without one it raises
+    :class:`InjectedFault`.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.decide("cell-timeout", _cell_site(index, attempt), cell=index):
+        if stall_seconds is not None:
+            time.sleep(stall_seconds)
+            return
+        raise InjectedFault(
+            f"injected cell-timeout at cell {index} attempt {attempt}"
+        )
+
+
+def _entry_key(path: str) -> str:
+    """A machine-independent key for a cache entry path.
+
+    Cache entries are content-addressed (``<graph-hash>/<scheme>-<key>``),
+    so keying the schedule on the last two path components keeps it
+    reproducible across cache roots and machines.
+    """
+    return "/".join(path.replace(os.sep, "/").split("/")[-2:])
+
+
+def maybe_cache_corrupt(path: str) -> bool:
+    """Truncate the cache entry at ``path`` if scheduled (torn write).
+
+    Returns whether the entry was corrupted.  The schedule is keyed by
+    the content-addressed entry name plus how many times this process
+    wrote it, so repeated recomputations draw fresh (but reproducible)
+    decisions.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    entry = _entry_key(path)
+    nth = plan.next_entry_count(entry)
+    if not plan.decide("cache-corrupt", f"{entry}:{nth}"):
+        return False
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, size // 2))
+    return True
+
+
+def maybe_run_abort(records_written: int) -> None:
+    """Abort the run once ``records_written`` reaches the spec threshold.
+
+    Called by the run journal after each appended record; raising
+    :class:`RunAborted` here is the deterministic stand-in for killing a
+    bench run mid-grid.
+    """
+    plan = active_plan()
+    if plan is None or plan._aborted:
+        return
+    spec = plan.spec_for("run-abort")
+    if spec is None:
+        return
+    threshold = spec.after if spec.after is not None else 1
+    if records_written >= threshold:
+        plan._aborted = True
+        raise RunAborted(
+            f"injected run-abort after {records_written} journal records"
+        )

@@ -20,6 +20,23 @@ def _isolated_ordering_cache(tmp_path, monkeypatch):
 
 
 @pytest.fixture(autouse=True)
+def _reset_resilience_state():
+    """Restore pool defaults and the degraded-cell set after each test.
+
+    Deliberately leaves ``REPRO_FAULTS`` alone: the chaos CI leg
+    (``make test-faults``) exports it so the equivalence suites run with
+    injected faults active — clearing it here would neuter that leg.
+    """
+    from repro.bench import pool, runners
+
+    yield
+    runners.reset_degraded()
+    pool.set_default_jobs(1)
+    pool.set_default_timeout(None)
+    pool.set_default_retries(2)
+
+
+@pytest.fixture(autouse=True)
 def _numeric_sanitizer():
     """Arm the numeric sanitizer for every test when REPRO_SANITIZE=1.
 

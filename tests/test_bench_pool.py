@@ -6,7 +6,17 @@ import numpy as np
 import pytest
 
 from repro.bench import perf
-from repro.bench.pool import default_jobs, map_cells, set_default_jobs
+from repro.bench.pool import (
+    CellFailedError,
+    default_jobs,
+    default_retries,
+    default_timeout,
+    map_cells,
+    map_cells_detailed,
+    set_default_jobs,
+    set_default_retries,
+    set_default_timeout,
+)
 from repro.bench.runners import (
     _measures_cache,
     _ordering_cache,
@@ -68,6 +78,62 @@ class TestMapCells:
 
     def test_empty_cells(self):
         assert map_cells(_double, [], jobs=4) == []
+
+
+def _fail_on_three(cell):
+    if cell == 3:
+        raise RuntimeError("cell three always fails")
+    return cell * 2
+
+
+class TestSupervisedFailureModes:
+    def test_strict_map_raises_cell_failed(self):
+        with pytest.raises(CellFailedError) as excinfo:
+            map_cells(
+                _fail_on_three, list(range(6)), jobs=2, retries=1
+            )
+        err = excinfo.value
+        assert [index for index, _ in err.failures] == [3]
+        assert "cell three always fails" in err.failures[0][1]
+        # The surviving cells are still inspectable on the exception.
+        assert len(err.results) == 6
+        assert [r.value for r in err.results if r.ok] == [0, 2, 4, 8, 10]
+
+    def test_detailed_map_degrades_instead_of_raising(self):
+        results = map_cells_detailed(
+            _fail_on_three, list(range(6)), jobs=2, retries=1
+        )
+        assert not results[3].ok
+        assert "cell three always fails" in results[3].error
+        for index in (0, 1, 2, 4, 5):
+            assert results[index].ok
+            assert results[index].value == index * 2
+
+    def test_default_timeout_round_trip(self):
+        saved = default_timeout()
+        try:
+            set_default_timeout(12.5)
+            assert default_timeout() == 12.5
+            set_default_timeout(None)
+            assert default_timeout() is None
+        finally:
+            set_default_timeout(saved)
+        with pytest.raises(ValueError):
+            set_default_timeout(0)
+        with pytest.raises(ValueError):
+            set_default_timeout(-1.0)
+
+    def test_default_retries_round_trip(self):
+        saved = default_retries()
+        try:
+            set_default_retries(5)
+            assert default_retries() == 5
+            set_default_retries(0)
+            assert default_retries() == 0
+        finally:
+            set_default_retries(saved)
+        with pytest.raises(ValueError):
+            set_default_retries(-1)
 
 
 class TestWarmCaches:

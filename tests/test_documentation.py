@@ -23,6 +23,11 @@ PACKAGES = [
     "repro.bench.ablations",
     "repro.bench.extensions",
     "repro.bench.scaling",
+    "repro.resilience",
+    "repro.resilience.faults",
+    "repro.resilience.journal",
+    "repro.resilience.supervisor",
+    "repro.resilience.reporting",
 ]
 
 

@@ -211,3 +211,125 @@ def test_runner_works_with_store_disabled(
     ordering = runners.ordering_for("rcm", "euroroad")
     fresh = get_scheme("rcm").order(load("euroroad"))
     assert same_ordering(ordering, fresh)
+
+
+# ---------------------------------------------------------------------------
+# Self-healing: checksums, schema guards, quarantine
+# ---------------------------------------------------------------------------
+def test_truncated_entry_quarantined_and_recomputed(store):
+    graph = make_grid(5, 3)
+    scheme = get_scheme("bfs")
+    fresh = store.get_or_compute(graph, scheme)
+    path = store.entry_path(graph, scheme)
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size // 2)
+    recovered = store.get_or_compute(graph, scheme)
+    assert same_ordering(fresh, recovered)
+    assert store.quarantined == 1
+    assert os.path.isfile(path + ".bad")
+    # The healed entry is valid again.
+    assert store.load(graph, scheme) is not None
+
+
+def test_checksum_mismatch_quarantined(store):
+    graph = make_grid(4, 4)
+    scheme = get_scheme("rcm")
+    fresh = store.get_or_compute(graph, scheme)
+    path = store.entry_path(graph, scheme)
+    with np.load(path, allow_pickle=False) as bundle:
+        fields = {name: bundle[name] for name in bundle.files}
+    fields["cost"] = np.int64(int(fields["cost"]) + 1)  # silent bit-rot
+    np.savez(path, **fields)  # entry paths end in .npz: writes in place
+    assert store.load(graph, scheme) is None
+    assert store.quarantined == 1
+    assert store.quarantined_count() == 1
+    recovered = store.get_or_compute(graph, scheme)
+    assert same_ordering(fresh, recovered)
+
+
+def test_stale_schema_version_quarantined(store):
+    graph = make_grid(4, 3)
+    scheme = get_scheme("natural")
+    fresh = store.get_or_compute(graph, scheme)
+    path = store.entry_path(graph, scheme)
+    with np.load(path, allow_pickle=False) as bundle:
+        fields = {name: bundle[name] for name in bundle.files}
+    fields["schema"] = np.int64(999)
+    np.savez(path, **fields)
+    assert store.load(graph, scheme) is None
+    assert store.quarantined == 1
+    assert same_ordering(fresh, store.get_or_compute(graph, scheme))
+
+
+def test_missing_fields_treated_as_stale_schema(store):
+    graph = make_grid(3, 3)
+    scheme = get_scheme("natural")
+    fresh = store.get_or_compute(graph, scheme)
+    path = store.entry_path(graph, scheme)
+    # A v1-era entry: permutation and cost only.
+    np.savez(path, permutation=fresh.permutation,
+             cost=np.int64(fresh.cost))
+    assert store.load(graph, scheme) is None
+    assert store.quarantined == 1
+    assert same_ordering(fresh, store.get_or_compute(graph, scheme))
+
+
+def test_quarantine_never_raises_and_counts(store):
+    graph = make_grid(4, 2)
+    scheme = get_scheme("bfs")
+    store.get_or_compute(graph, scheme)
+    path = store.entry_path(graph, scheme)
+    with open(path, "wb") as handle:
+        handle.write(b"garbage")
+    assert store.load(graph, scheme) is None  # no exception escapes
+    assert store.quarantined_count() == 1
+    assert store.entry_count() == 0  # the .bad file is not an entry
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers: N processes racing one entry
+# ---------------------------------------------------------------------------
+def _race_graph():
+    return random_graph(80, 220, seed=9)
+
+
+def _race_writer(root, barrier):
+    graph = _race_graph()
+    racing = OrderingStore(root)
+    barrier.wait()
+    ordering = racing.get_or_compute(graph, get_scheme("rcm"))
+    assert ordering.permutation.size == graph.num_vertices
+
+
+def test_concurrent_writers_one_valid_entry(tmp_path):
+    import multiprocessing
+
+    root = str(tmp_path / "race")
+    workers = 6
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(workers)
+    processes = [
+        ctx.Process(target=_race_writer, args=(root, barrier))
+        for _ in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    store = OrderingStore(root)
+    graph = _race_graph()
+    assert store.entry_count() == 1
+    assert store.quarantined_count() == 0
+    cached = store.load(graph, get_scheme("rcm"))
+    assert cached is not None
+    assert same_ordering(cached, get_scheme("rcm").order(graph))
+    # Atomic writes leave no temp droppings behind.
+    leftovers = [
+        name
+        for _dir, _subdirs, names in os.walk(root)
+        for name in names
+        if name.startswith(".tmp-")
+    ]
+    assert leftovers == []

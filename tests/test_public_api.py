@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.simulator",
     "repro.apps",
     "repro.bench",
+    "repro.resilience",
 ]
 
 

@@ -1,0 +1,388 @@
+"""The run journal: persistence, replay accounting, CLI checkpoint/resume.
+
+The subprocess tests at the bottom drive ``python -m repro.bench``
+through a full kill/resume cycle: a run aborted mid-grid (the
+``run-abort`` injected fault — a deterministic ``kill -9`` stand-in)
+must resume by replaying its journal, executing only the missing cells,
+and producing output identical to an uninterrupted run.
+"""
+
+import json
+import multiprocessing
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import runners
+from repro.resilience.journal import (
+    RunJournal,
+    activate,
+    active_journal,
+    cell_key,
+    deactivate,
+    list_runs,
+    run_directory,
+    using_run,
+)
+from repro.resilience.reporting import completeness, format_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(autouse=True)
+def _no_injected_faults(monkeypatch):
+    """Journal mechanics are tested fault-free; the injected-fault
+    interplay lives in test_resilience_faults.py."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _no_active_journal():
+    deactivate()
+    yield
+    deactivate()
+
+
+@pytest.fixture
+def clean_runner_caches():
+    runners._ordering_cache.clear()
+    runners._measures_cache.clear()
+    runners.reset_degraded()
+    yield
+    runners._ordering_cache.clear()
+    runners._measures_cache.clear()
+    runners.reset_degraded()
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+class TestCellKey:
+    def test_stable(self):
+        assert cell_key("measures", "ds", "token") == cell_key(
+            "measures", "ds", "token"
+        )
+
+    def test_distinguishes_parts(self):
+        keys = {
+            cell_key("measures", "ds", "token"),
+            cell_key("ordering", "ds", "token"),
+            cell_key("measures", "other", "token"),
+            cell_key("measures", "ds", "token2"),
+        }
+        assert len(keys) == 4
+
+    def test_shape(self):
+        key = cell_key("a", "b")
+        assert re.fullmatch(r"[0-9a-f]{24}", key)
+
+
+# ---------------------------------------------------------------------------
+# Journal file mechanics
+# ---------------------------------------------------------------------------
+class TestRunJournal:
+    def test_round_trip(self, tmp_path):
+        journal = RunJournal("run1", str(tmp_path))
+        assert not journal.exists
+        journal.write_meta(ids=["fig1"], datasets=["euroroad"])
+        journal.record(
+            "k1", kind="measures", status="ok", label="m:a/b",
+            value={"average_gap": 1.5}, attempts=2, duration=0.25,
+        )
+        journal.record(
+            "k2", kind="ordering", status="degraded",
+            label="o:c/d", error="worker died", attempts=3,
+        )
+        reloaded = RunJournal("run1", str(tmp_path))
+        assert reloaded.exists
+        assert reloaded.meta()["ids"] == ["fig1"]
+        entry = reloaded.lookup("k1")
+        assert entry["status"] == "ok"
+        assert entry["value"] == {"average_gap": 1.5}
+        assert entry["attempts"] == 2
+        assert reloaded.lookup("k2")["error"] == "worker died"
+        assert set(reloaded.entries()) == {"k1", "k2"}
+
+    def test_invalid_run_ids_rejected(self, tmp_path):
+        for bad in ("", "a/b", "a\\b", "..", "x/../y"):
+            with pytest.raises(ValueError):
+                RunJournal(bad, str(tmp_path))
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        journal = RunJournal("torn", str(tmp_path))
+        journal.record("k1", kind="x", status="ok")
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "cell", "key": "k2", "sta')
+        reloaded = RunJournal("torn", str(tmp_path))
+        assert set(reloaded.entries()) == {"k1"}
+        # And the reloaded journal still accepts appends.
+        reloaded.record("k3", kind="x", status="ok")
+        assert set(RunJournal("torn", str(tmp_path)).entries()) == {
+            "k1", "k3"
+        }
+
+    def test_record_idempotent_per_key_status(self, tmp_path):
+        journal = RunJournal("idem", str(tmp_path))
+        journal.record("k1", kind="x", status="ok")
+        journal.record("k1", kind="x", status="ok")
+        with open(journal.path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+        # A status change is a new record (degraded -> retried ok).
+        journal.record("k1", kind="x", status="degraded")
+        assert journal.lookup("k1")["status"] == "degraded"
+
+    def test_loaded_entries_not_reappended(self, tmp_path):
+        journal = RunJournal("resume", str(tmp_path))
+        journal.record("k1", kind="x", status="ok")
+        reloaded = RunJournal("resume", str(tmp_path))
+        reloaded.record("k1", kind="x", status="ok")
+        with open(reloaded.path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_degraded_then_ok_wins_on_reload(self, tmp_path):
+        journal = RunJournal("retry", str(tmp_path))
+        journal.record("k1", kind="x", status="degraded", error="boom")
+        journal.record("k1", kind="x", status="ok", value=7)
+        assert RunJournal("retry", str(tmp_path)).lookup("k1")[
+            "value"
+        ] == 7
+
+    def test_fork_inherited_journal_never_writes(self, tmp_path):
+        journal = RunJournal("forked", str(tmp_path))
+        journal.record("parent", kind="x", status="ok")
+
+        def child_record():
+            journal.record("child", kind="x", status="ok")
+
+        ctx = multiprocessing.get_context("fork")
+        process = ctx.Process(target=child_record)
+        process.start()
+        process.join()
+        assert process.exitcode == 0
+        assert set(RunJournal("forked", str(tmp_path)).entries()) == {
+            "parent"
+        }
+
+    def test_replay_and_computed_accounting(self, tmp_path):
+        journal = RunJournal("acct", str(tmp_path))
+        journal.record("k1", kind="x", status="ok")
+        journal.record("k2", kind="x", status="ok")
+        journal.mark_replayed("k3")
+        journal.mark_replayed("k3")
+        assert journal.computed == 2
+        assert journal.replayed == 1
+
+    def test_run_directory_and_listing(self, tmp_path):
+        assert list_runs(str(tmp_path)) == []
+        RunJournal("b-run", str(tmp_path)).record(
+            "k", kind="x", status="ok"
+        )
+        RunJournal("a-run", str(tmp_path)).record(
+            "k", kind="x", status="ok"
+        )
+        assert list_runs(str(tmp_path)) == ["a-run", "b-run"]
+        assert run_directory("a-run", str(tmp_path)).endswith(
+            os.path.join("runs", "a-run")
+        )
+
+
+class TestActiveJournal:
+    def test_activation_cycle(self, tmp_path):
+        journal = RunJournal("act", str(tmp_path))
+        assert active_journal() is None
+        activate(journal)
+        assert active_journal() is journal
+        deactivate()
+        assert active_journal() is None
+
+    def test_using_run_restores_previous(self, tmp_path):
+        outer = RunJournal("outer", str(tmp_path))
+        inner = RunJournal("inner", str(tmp_path))
+        activate(outer)
+        with using_run(inner):
+            assert active_journal() is inner
+        assert active_journal() is outer
+
+
+# ---------------------------------------------------------------------------
+# Completeness reports
+# ---------------------------------------------------------------------------
+class TestCompleteness:
+    def test_report_over_mixed_outcomes(self, tmp_path):
+        journal = RunJournal("mix", str(tmp_path))
+        journal.record("k1", kind="measures", status="ok", value={})
+        journal.record(
+            "k2", kind="measures", status="degraded",
+            label="measures:rcm/euroroad", error="worker died",
+            attempts=3,
+        )
+        journal.mark_replayed("k3")
+        report = completeness(journal)
+        assert report.total == 2
+        assert report.ok == 1
+        assert not report.complete
+        assert report.replayed == 1
+        assert report.computed == 1  # degraded cells are not "computed"
+        text = format_report(report)
+        assert "1 degraded" in text
+        assert "measures:rcm/euroroad" in text
+        assert "worker died" in text
+        assert "--resume" in text
+
+    def test_complete_run_has_no_warning(self, tmp_path):
+        journal = RunJournal("clean", str(tmp_path))
+        journal.record("k1", kind="x", status="ok")
+        report = completeness(journal)
+        assert report.complete
+        lines = format_report(report).splitlines()
+        assert len(lines) == 1
+        assert "0 degraded" in lines[0]
+
+
+# ---------------------------------------------------------------------------
+# Runner integration: journaled cells replay without recomputation
+# ---------------------------------------------------------------------------
+class TestRunnerReplay:
+    def test_measures_replayed_bit_exact(
+        self, tmp_path, monkeypatch, clean_runner_caches
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with using_run(RunJournal("measure-run")) as journal:
+            fresh = runners.measures_for("natural", "euroroad")
+            assert journal.computed >= 1
+        runners._ordering_cache.clear()
+        runners._measures_cache.clear()
+        with using_run(RunJournal("measure-run")) as journal:
+            replayed = runners.measures_for("natural", "euroroad")
+            assert journal.replayed == 1
+            assert journal.computed == 0
+        assert replayed == fresh  # bit-exact through the JSON round-trip
+
+    def test_ordering_replay_counts_via_store(
+        self, tmp_path, monkeypatch, clean_runner_caches
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with using_run(RunJournal("order-run")):
+            fresh = runners.ordering_for("rcm", "euroroad")
+        runners._ordering_cache.clear()
+        with using_run(RunJournal("order-run")) as journal:
+            again = runners.ordering_for("rcm", "euroroad")
+            assert journal.replayed == 1
+        assert (again.permutation == fresh.permutation).all()
+
+    def test_degraded_cells_journaled_and_nan(
+        self, tmp_path, monkeypatch, clean_runner_caches
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_FAULTS", "worker-crash:p=1:cells=0")
+        with using_run(RunJournal("degraded-run")) as journal:
+            scores = runners.collect_scores(
+                ["natural", "random"], ["euroroad"],
+                lambda m: m.average_gap,
+            )
+            assert runners.degraded_cells() == [("natural", "euroroad")]
+            assert scores["natural"]["euroroad"] != scores["natural"][
+                "euroroad"
+            ]  # NaN
+            assert scores["random"]["euroroad"] == scores["random"][
+                "euroroad"
+            ]
+            report = completeness(journal)
+            assert len(report.degraded) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI: kill / resume cycle
+# ---------------------------------------------------------------------------
+def _run_bench(args, cache_dir, extra_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + (
+        env.get("PYTHONPATH", "")
+    )
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_FAULTS", None)
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.bench", *args],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=600,
+    )
+
+
+GRID = [
+    "fig1", "--datasets", "euroroad", "--schemes", "natural,random",
+]
+
+
+def _report_counts(stdout):
+    match = re.search(r"replayed=(\d+) computed=(\d+)", stdout)
+    assert match, stdout
+    return int(match.group(1)), int(match.group(2))
+
+
+def _table_lines(stdout):
+    """The rendered figure table (order-stable, wall-clock free)."""
+    return [
+        line for line in stdout.splitlines()
+        if line.startswith(("scheme", "-------", "natural", " random"))
+    ]
+
+
+class TestCliKillResume:
+    def test_kill_then_resume_executes_only_missing_cells(self, tmp_path):
+        baseline = _run_bench(GRID, tmp_path / "base")
+        assert baseline.returncode == 0, baseline.stderr
+
+        cache = tmp_path / "cache"
+        killed = _run_bench(
+            GRID + ["--run-id", "cycle"], cache,
+            extra_env={"REPRO_FAULTS": "run-abort:after=3"},
+        )
+        assert killed.returncode == 3, killed.stderr
+        assert "aborted" in killed.stderr
+        journal = RunJournal("cycle", str(cache))
+        journaled_before = len(journal.entries())
+        assert journaled_before == 3
+
+        resumed = _run_bench(["--resume", "cycle"], cache)
+        assert resumed.returncode == 0, resumed.stderr
+        # The resumed run's rendered table is identical to an
+        # uninterrupted run's (headers differ only in wall-clock).
+        assert _table_lines(resumed.stdout) == _table_lines(
+            baseline.stdout
+        )
+        replayed, computed = _report_counts(resumed.stdout)
+        assert replayed >= 1  # journaled cells served without recompute
+        total = len(RunJournal("cycle", str(cache)).entries())
+        assert computed == total - journaled_before  # only missing cells
+
+    def test_second_resume_recomputes_nothing(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = _run_bench(GRID + ["--run-id", "warm"], cache)
+        assert first.returncode == 0, first.stderr
+        second = _run_bench(["--resume", "warm"], cache)
+        assert second.returncode == 0, second.stderr
+        replayed, computed = _report_counts(second.stdout)
+        assert computed == 0
+        assert replayed >= 1
+        # Replayed output matches the original run's table verbatim.
+        table = [
+            line for line in first.stdout.splitlines()
+            if line.startswith(("natural", " random", "scheme"))
+        ]
+        assert table and all(line in second.stdout for line in table)
+
+    def test_resume_unknown_run_fails_loud(self, tmp_path):
+        result = _run_bench(["--resume", "never-ran"], tmp_path)
+        assert result.returncode == 2
+        assert "no journal" in result.stderr
+
+    def test_run_id_and_resume_exclusive(self, tmp_path):
+        result = _run_bench(
+            ["--run-id", "a", "--resume", "b"], tmp_path
+        )
+        assert result.returncode == 2
