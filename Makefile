@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test lint test-sanitize test-faults bench bench-paper \
-	bench-ablations bench-perf examples clean
+	bench-ablations bench-perf bench-native examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -35,6 +35,13 @@ bench-perf:
 	PYTHONPATH=src python -m repro.bench.perf --check
 	PYTHONPATH=src python -m repro.bench.perf --orderings --check
 	PYTHONPATH=src python -m repro.bench.perf --apps --check
+
+bench-native:
+	PYTHONPATH=src python -m repro.bench --native-info
+	PYTHONPATH=src python -m pytest -x -q tests/test_native_kernels.py \
+		tests/test_graph_shm.py
+	REPRO_NO_NATIVE=1 PYTHONPATH=src python -m pytest -x -q \
+		tests/test_native_kernels.py
 
 bench-ablations:
 	python -m repro.bench ablation_gorder_window ablation_hub_cutoff \

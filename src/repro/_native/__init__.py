@@ -1,0 +1,42 @@
+"""Lazily compiled C kernels for hot loops that resist vectorisation.
+
+Every kernel follows the three-tier engine contract
+(:mod:`repro.engine`): the scalar Python loop is ground truth, the numpy
+engine is the tested middle tier, and the native kernel — when a C
+compiler is available and ``REPRO_NO_NATIVE`` is unset — is a
+bit-identical escalation.  Kernels declare their scalar and vector twins
+(verified statically by :mod:`repro.analysis.contracts`) and report
+their build status through :func:`build_info_all`.
+
+Kernels:
+
+* ``lru_replay`` — set-associative LRU replay (:mod:`.lru`);
+* ``gorder_greedy`` — the whole Gorder sliding-window greedy
+  (:mod:`.gorder`);
+* ``partition_fm`` — FM boundary refinement and greedy region growing
+  for nested dissection / METIS (:mod:`.fm`);
+* ``delta_scan`` — delta-stepping bucket relaxation (:mod:`.delta`).
+"""
+
+from __future__ import annotations
+
+from .core import (
+    NativeKernel,
+    build_info_all,
+    cache_dir,
+    get_kernel,
+    kernel_names,
+)
+from . import delta, fm, gorder, lru  # noqa: F401  (register kernels)
+
+__all__ = [
+    "NativeKernel",
+    "build_info_all",
+    "cache_dir",
+    "get_kernel",
+    "kernel_names",
+    "delta",
+    "fm",
+    "gorder",
+    "lru",
+]

@@ -1,0 +1,209 @@
+"""Shared infrastructure for lazy-compiled C kernels.
+
+:mod:`repro.simulator._native` proved the pattern: a hot loop with no
+numpy-friendly structure is written once in C, compiled on first use with
+the system compiler, cached by source hash, and loaded through
+:mod:`ctypes` — with the pure-Python path kept as bit-identical ground
+truth.  This module generalises that pattern so every native kernel in
+the tree shares one build cache, one fallback gate, and one reporting
+surface:
+
+* :class:`NativeKernel` wraps a C source string plus its symbol
+  prototypes; ``kernel.lib()`` returns the loaded library or ``None``
+  (no compiler, build failure, or ``REPRO_NO_NATIVE=1``);
+* every kernel must name its **scalar and vector twins** — the Python
+  implementations it is bit-identical to — which the reprolint contracts
+  checker verifies statically;
+* :func:`build_info_all` reports per-kernel status (compiler, cache hit,
+  fallback reason) for ``python -m repro.bench --version`` and the perf
+  harness, so a silent fallback to pure Python cannot masquerade as a
+  performance regression.
+
+The shared objects live under ``~/.cache/repro-native`` (or
+``XDG_CACHE_HOME``, or the system temp dir) keyed by a hash of the C
+source, so compilation happens once per machine, not once per process.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Mapping, Sequence
+
+__all__ = [
+    "NativeKernel",
+    "get_kernel",
+    "kernel_names",
+    "build_info_all",
+    "cache_dir",
+]
+
+#: registry of every declared kernel, in declaration order.
+_KERNELS: dict[str, "NativeKernel"] = {}
+
+
+def cache_dir() -> str:
+    """Directory holding the compiled shared objects."""
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+    path = os.path.join(base, "repro-native")
+    try:
+        os.makedirs(path, exist_ok=True)
+        return path
+    except OSError:
+        return tempfile.gettempdir()
+
+
+def _compiler() -> str | None:
+    """The first available C compiler, or None."""
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+class NativeKernel:
+    """One lazily compiled C kernel with declared Python twins.
+
+    Parameters
+    ----------
+    name:
+        Registry key; also the shared-object basename prefix.
+    source:
+        Complete C source of the kernel.
+    symbols:
+        ``{symbol: (argtypes, restype)}`` ctypes prototypes applied after
+        loading.
+    scalar_twin / vector_twin:
+        ``"module:function"`` references naming the pure-Python ground
+        truth and the numpy middle tier this kernel is bit-identical to.
+        The contracts checker (:mod:`repro.analysis.contracts`) resolves
+        both statically, so a kernel cannot ship without its fallbacks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        *,
+        symbols: Mapping[str, tuple[Sequence[object], object]],
+        scalar_twin: str,
+        vector_twin: str,
+    ) -> None:
+        if name in _KERNELS:
+            raise ValueError(f"native kernel {name!r} already registered")
+        self.name = name
+        self.source = source
+        self.symbols = dict(symbols)
+        self.scalar_twin = scalar_twin
+        self.vector_twin = vector_twin
+        self._lib: ctypes.CDLL | None = None
+        self._tried = False
+        self._status = "not built"
+        self._compiler_used: str | None = None
+        self._cache_hit: bool | None = None
+        _KERNELS[name] = self
+
+    # -- build ---------------------------------------------------------
+    @property
+    def source_digest(self) -> str:
+        """Short hash of the C source (the build-cache key)."""
+        return hashlib.sha256(self.source.encode()).hexdigest()[:16]
+
+    def _so_path(self) -> str:
+        return os.path.join(
+            cache_dir(), f"{self.name}_{self.source_digest}.so"
+        )
+
+    def _build(self) -> ctypes.CDLL:
+        """Compile (or reuse) the kernel and load it with prototypes."""
+        so_path = self._so_path()
+        self._cache_hit = os.path.exists(so_path)
+        if not self._cache_hit:
+            cc = _compiler()
+            if cc is None:
+                raise RuntimeError("no C compiler found")
+            self._compiler_used = cc
+            with tempfile.TemporaryDirectory() as tmp:
+                c_path = os.path.join(tmp, f"{self.name}.c")
+                with open(c_path, "w") as f:
+                    f.write(self.source)
+                tmp_so = os.path.join(tmp, f"{self.name}.so")
+                subprocess.run(
+                    [cc, "-O3", "-fPIC", "-shared", "-o", tmp_so, c_path],
+                    check=True,
+                    capture_output=True,
+                )
+                # atomic publish so concurrent builders cannot race
+                os.replace(tmp_so, so_path)
+        lib = ctypes.CDLL(so_path)
+        for symbol, (argtypes, restype) in self.symbols.items():
+            fn = getattr(lib, symbol)
+            fn.argtypes = list(argtypes)
+            fn.restype = restype
+        return lib
+
+    def lib(self) -> ctypes.CDLL | None:
+        """The compiled kernel, or None when unavailable or disabled."""
+        if self._tried:
+            return self._lib
+        self._tried = True
+        if os.environ.get("REPRO_NO_NATIVE"):
+            self._status = "disabled by REPRO_NO_NATIVE"
+            return None
+        try:
+            self._lib = self._build()
+            self._status = "cached" if self._cache_hit else "compiled"
+        except Exception as exc:  # pragma: no cover - toolchain dependent
+            self._lib = None
+            self._status = f"unavailable ({exc.__class__.__name__})"
+        return self._lib
+
+    def reset(self) -> None:
+        """Forget the build attempt (tests re-run with env changes)."""
+        self._lib = None
+        self._tried = False
+        self._status = "not built"
+        self._compiler_used = None
+        self._cache_hit = None
+
+    # -- reporting -----------------------------------------------------
+    def build_info(self) -> dict:
+        """Status of this kernel after (attempting) the build."""
+        self.lib()
+        available = self._lib is not None
+        return {
+            "kernel": self.name,
+            "status": self._status,
+            "available": available,
+            "compiler": self._compiler_used,
+            "cache_hit": self._cache_hit,
+            "fallback": None if available else self._status,
+            "source_digest": self.source_digest,
+            "scalar_twin": self.scalar_twin,
+            "vector_twin": self.vector_twin,
+        }
+
+
+def get_kernel(name: str) -> NativeKernel:
+    """The registered kernel called ``name``."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown native kernel {name!r}; "
+            f"available: {sorted(_KERNELS)}"
+        ) from None
+
+
+def kernel_names() -> list[str]:
+    """Registered kernel names, in declaration order."""
+    return list(_KERNELS)
+
+
+def build_info_all() -> dict[str, dict]:
+    """``{kernel name: build_info()}`` for every registered kernel."""
+    return {name: k.build_info() for name, k in _KERNELS.items()}

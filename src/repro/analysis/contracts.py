@@ -5,7 +5,7 @@ keeps a scalar reference implementation that is bit-identical under
 pinned seeds, enforced by equivalence tests.  This module makes the
 *wiring* of that invariant statically checkable, so a new scheme or
 kernel cannot silently ship an engine gate with no scalar twin and no
-test.  Four contracts, each reported as a :class:`~.core.Finding`:
+test.  Five contracts, each reported as a :class:`~.core.Finding`:
 
 ``parity-scalar-twin``
     Every function branching on :func:`repro.engine.resolve_engine` /
@@ -30,6 +30,14 @@ test.  Four contracts, each reported as a :class:`~.core.Finding`:
     its ``STAGES`` registry with an existing aggregate-floor constant,
     and the Makefile's ``bench-perf`` target must run each stage with
     ``--check``.
+``native-twin``
+    Every :class:`~repro._native.core.NativeKernel` declaration must
+    name its ``scalar_twin`` and ``vector_twin`` as literal
+    ``"module:qualname"`` strings that resolve to functions (or
+    methods) defined in the tree.  The C tier is the top of a
+    three-tier tower — a kernel whose reference twins have drifted or
+    vanished can no longer be bit-identity tested, which is the only
+    thing that licenses running it.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ __all__ = [
     "check_equivalence_coverage",
     "check_scheme_classes",
     "check_bench_floors",
+    "check_native_twins",
     "check_contracts",
     "GATE_CALLS",
     "GATE_STRINGS",
@@ -594,6 +603,99 @@ def check_bench_floors(
     return findings
 
 
+# ----------------------------------------------------------------------
+# Contract 5: native kernels name resolvable twins
+# ----------------------------------------------------------------------
+def check_native_twins(index: dict[str, ModuleInfo]) -> list[Finding]:
+    """Every ``NativeKernel(...)`` must declare resolvable twins.
+
+    A kernel's ``scalar_twin`` / ``vector_twin`` are its bit-identity
+    anchors: the equivalence suite imports them by these names.  The
+    contract requires literal ``"module:qualname"`` strings pointing at
+    a function (or ``Class.method``) defined in the indexed tree.
+    """
+
+    def resolves(target: str) -> str | None:
+        """Error string if ``module:qualname`` does not resolve."""
+        if ":" not in target:
+            return "is not a 'module:qualname' string"
+        mod_name, qualname = target.split(":", 1)
+        info = index.get(mod_name)
+        if info is None:
+            return f"names unknown module {mod_name!r}"
+        parts = qualname.split(".")
+        if len(parts) == 1:
+            if parts[0] not in info.functions:
+                return f"names no function {qualname!r} in {mod_name}"
+        elif len(parts) == 2:
+            cls = info.classes.get(parts[0])
+            if cls is None:
+                return f"names no class {parts[0]!r} in {mod_name}"
+            methods = {
+                s.name for s in cls.body if isinstance(s, ast.FunctionDef)
+            }
+            if parts[1] not in methods:
+                return (
+                    f"names no method {parts[1]!r} on "
+                    f"{mod_name}.{parts[0]}"
+                )
+        else:
+            return f"has unresolvable qualname {qualname!r}"
+        return None
+
+    findings: list[Finding] = []
+    for info in index.values():
+        if not info.module.startswith("repro._native"):
+            continue
+        rel = _rel(info.path)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted(node.func)
+            if not parts or parts[-1] != "NativeKernel":
+                continue
+            keywords = {
+                kw.arg: kw.value for kw in node.keywords if kw.arg
+            }
+            for role in ("scalar_twin", "vector_twin"):
+                value = keywords.get(role)
+                if value is None:
+                    findings.append(
+                        Finding(
+                            "native-twin", rel, node.lineno,
+                            node.col_offset,
+                            f"NativeKernel in {info.module} declares no "
+                            f"{role}= keyword; every native kernel must "
+                            f"name its reference implementations",
+                        )
+                    )
+                    continue
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    findings.append(
+                        Finding(
+                            "native-twin", rel, value.lineno,
+                            value.col_offset,
+                            f"NativeKernel {role} in {info.module} must "
+                            f"be a literal 'module:qualname' string",
+                        )
+                    )
+                    continue
+                error = resolves(value.value)
+                if error is not None:
+                    findings.append(
+                        Finding(
+                            "native-twin", rel, value.lineno,
+                            value.col_offset,
+                            f"NativeKernel {role} {value.value!r} "
+                            f"{error}",
+                        )
+                    )
+    return findings
+
+
 def _make_target_recipe(makefile: Path, target: str) -> list[str]:
     if not makefile.exists():
         return []
@@ -631,6 +733,7 @@ def check_contracts(
     findings.extend(check_scalar_twins(index))
     findings.extend(check_equivalence_coverage(index, tests_root))
     findings.extend(check_scheme_classes(index))
+    findings.extend(check_native_twins(index))
     perf_default = (
         src_root / "bench" / "perf.py" if src_root is not None else None
     )

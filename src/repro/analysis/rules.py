@@ -23,7 +23,8 @@ Rules:
 ``env-read``
     ``os.environ`` / ``os.getenv`` outside the sanctioned config entry
     points (:mod:`repro.engine`, :mod:`repro.ordering.store`,
-    :mod:`repro.simulator._native`, :mod:`repro.analysis.sanitize`).
+    :mod:`repro.simulator._native`, :mod:`repro._native.core`,
+    :mod:`repro.graph.shm`, :mod:`repro.analysis.sanitize`).
     Scattered env reads make a run's configuration impossible to pin.
 ``mutable-default``
     Mutable default arguments — shared state across calls breaks replay
@@ -49,6 +50,8 @@ SANCTIONED_ENV_MODULES = frozenset(
         "repro.engine",
         "repro.ordering.store",
         "repro.simulator._native",
+        "repro._native.core",
+        "repro.graph.shm",
         "repro.analysis.sanitize",
         "repro.resilience.faults",
         "repro.resilience.journal",

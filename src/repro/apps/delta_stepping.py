@@ -12,19 +12,23 @@ memory profile.  Included for the kernel study's SSSP axis:
 * each bucket phase is a parallel region in the real algorithm, so the
   work items here are per-vertex relaxations grouped by phase.
 
-Two engine-gated implementations (:mod:`repro.engine`): the scalar
+Three engine-gated implementations (:mod:`repro.engine`): the scalar
 reference keeps the original per-vertex sorted loops over dict-of-set
-buckets, and the vector engine runs *bucketed array* delta-stepping —
+buckets; the vector engine runs *bucketed array* delta-stepping —
 light/heavy edge partitions, trace lines, and per-scan relaxations are
 all precomputed or applied as whole-array operations, with lazy-deleted
-bucket membership chunks replacing the eager set bookkeeping.  Both
-produce bit-identical distances and work-item streams.
+bucket membership chunks replacing the eager set bookkeeping; and the
+native tier escalates the whole bucket loop to a compiled kernel
+(:mod:`repro._native.delta`) that emits the scan stream from which the
+work items are assembled.  All produce bit-identical distances and
+work-item streams.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .._native import delta as _native_delta
 from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 from ..simulator.parallel import WorkItem
@@ -53,8 +57,8 @@ def delta_stepping(
         unweighted graphs, where delta-stepping degenerates to BFS-like
         level processing).
     engine:
-        Explicit engine override (``"vector"``/``"scalar"``); defaults to
-        the :func:`repro.engine.resolve_engine` resolution.
+        Explicit engine override (``"native"``/``"vector"``/``"scalar"``);
+        defaults to the :func:`repro.engine.resolve_engine` resolution.
 
     Returns
     -------
@@ -71,8 +75,13 @@ def delta_stepping(
             delta = 1.0
     if delta <= 0:
         raise ValueError("delta must be positive")
-    if resolve_engine(engine) == "scalar":
+    resolved = resolve_engine(engine)
+    if resolved == "scalar":
         return _delta_stepping_scalar(graph, source, delta, max_buckets)
+    if resolved == "native":
+        result = _delta_stepping_native(graph, source, delta, max_buckets)
+        if result is not None:
+            return result
     return _delta_stepping_vector(graph, source, delta, max_buckets)
 
 
@@ -127,23 +136,12 @@ class _PhaseTable:
         return self._flat[self._off[v]: self._off[v + 1]]
 
 
-def _delta_stepping_vector(
-    graph: CSRGraph,
-    source: int,
-    delta: float,
-    max_buckets: int,
-) -> tuple[np.ndarray, list[WorkItem]]:
-    """Bucketed-array engine: vectorized scans, lazy bucket membership.
-
-    Bucket membership lives in ``bucket_of`` (the authoritative bucket of
-    every vertex, ``-1`` when unreached/settled-stale) plus per-bucket
-    lists of pending member chunks.  Insertions append whole arrays;
-    deletions are lazy — a chunk entry counts only while ``bucket_of``
-    still agrees — and ``np.unique`` both dedupes and yields the sorted
-    frontier the scalar ``sorted(set)`` iteration produces.
-    """
+def _build_phases(
+    graph: CSRGraph, delta: float
+) -> tuple[_PhaseTable, _PhaseTable, list[int], np.ndarray, bool]:
+    """Light/heavy phase tables, per-vertex cycles, edge weights, and the
+    parallel-edge flag shared by the vector and native engines."""
     n = graph.num_vertices
-    dist = np.full(n, np.inf)
     indptr = np.asarray(graph.indptr, dtype=np.int64)
     indices = np.asarray(graph.indices, dtype=np.int64)
     m = indices.size
@@ -168,19 +166,82 @@ def _delta_stepping_vector(
     )
     edge_vdata_lines = layout.lines("vdata", indices)
     light_mask = weights <= delta
-    phases = {
-        True: _PhaseTable(
-            light_mask, src, deg, indices, weights,
-            indptr_lines, edge_idx_lines, edge_vdata_lines,
-        ),
-        False: _PhaseTable(
-            ~light_mask, src, deg, indices, weights,
-            indptr_lines, edge_idx_lines, edge_vdata_lines,
-        ),
-    }
+    light = _PhaseTable(
+        light_mask, src, deg, indices, weights,
+        indptr_lines, edge_idx_lines, edge_vdata_lines,
+    )
+    heavy = _PhaseTable(
+        ~light_mask, src, deg, indices, weights,
+        indptr_lines, edge_idx_lines, edge_vdata_lines,
+    )
     cycles = (
         VERTEX_COMPUTE_CYCLES + EDGE_COMPUTE_CYCLES * deg
     ).tolist()
+    return light, heavy, cycles, weights, has_parallel_edges
+
+
+def _delta_stepping_native(
+    graph: CSRGraph,
+    source: int,
+    delta: float,
+    max_buckets: int,
+) -> tuple[np.ndarray, list[WorkItem]] | None:
+    """Native bucket loop; None when the kernel is unavailable/oversized.
+
+    The kernel returns the distances and the ``(vertex, phase)`` scan
+    stream in execution order; the work items are assembled here from
+    the same phase tables the vector engine scans.
+    """
+    if _native_delta.KERNEL.lib() is None:
+        return None
+    n = graph.num_vertices
+    light, heavy, cycles, weights, _ = _build_phases(graph, delta)
+    wmax = float(weights.max()) if weights.size else 1.0
+    result = _native_delta.run(
+        light.indptr,
+        light.targets,
+        light.weights,
+        heavy.indptr,
+        heavy.targets,
+        heavy.weights,
+        n=n,
+        source=source,
+        delta=delta,
+        max_buckets=max_buckets,
+        wmax=wmax,
+    )
+    if result is None:
+        return None
+    dist, scan_vs, scan_phases = result
+    tables = (light, heavy)
+    items = [
+        WorkItem(lines=tables[p].lines(v), compute_cycles=cycles[v])
+        for v, p in zip(scan_vs.tolist(), scan_phases.tolist())
+    ]
+    return dist, items
+
+
+def _delta_stepping_vector(
+    graph: CSRGraph,
+    source: int,
+    delta: float,
+    max_buckets: int,
+) -> tuple[np.ndarray, list[WorkItem]]:
+    """Bucketed-array engine: vectorized scans, lazy bucket membership.
+
+    Bucket membership lives in ``bucket_of`` (the authoritative bucket of
+    every vertex, ``-1`` when unreached/settled-stale) plus per-bucket
+    lists of pending member chunks.  Insertions append whole arrays;
+    deletions are lazy — a chunk entry counts only while ``bucket_of``
+    still agrees — and ``np.unique`` both dedupes and yields the sorted
+    frontier the scalar ``sorted(set)`` iteration produces.
+    """
+    n = graph.num_vertices
+    dist = np.full(n, np.inf)
+    light, heavy, cycles, _, has_parallel_edges = _build_phases(
+        graph, delta
+    )
+    phases = {True: light, False: heavy}
 
     items: list[WorkItem] = []
     bucket_of = np.full(n, -1, dtype=np.int64)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 
@@ -139,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
              "that accept one",
     )
     parser.add_argument(
+        "--native-info", action="store_true",
+        help="print the native-kernel build report (compiler, cache "
+             "hit, fallback reason per kernel) and exit",
+    )
+    parser.add_argument(
         "--run-id", metavar="ID", default=None,
         help="journal this run's cells under $REPRO_CACHE_DIR/runs/ID "
              "(checkpointing; enables --resume ID later)",
@@ -158,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
         help="retries per failing cell before it degrades (default: 2)",
     )
     args = parser.parse_args(argv)
+    if args.native_info:
+        from .._native import build_info_all
+        from .perf import native_summary
+        for line in native_summary():
+            print(line)
+        print(json.dumps(build_info_all(), indent=2))
+        return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.run_id and args.resume:

@@ -58,7 +58,8 @@ from ..apps.influence_max import (
 )
 from ..apps.kernels import _sweep_items
 from ..datasets.registry import load
-from ..engine import use_engine
+from ..engine import strip_engine_metadata, use_engine
+from .._native import build_info_all
 from ..measures.gaps import gap_measures
 from ..ordering import PAPER_SCHEMES
 from ..ordering.base import Ordering, get_scheme
@@ -70,7 +71,6 @@ from ..simulator.parallel import (
     SimulatedMachine,
     static_block_schedule,
 )
-from ..simulator import _native
 
 __all__ = [
     "measure",
@@ -90,6 +90,11 @@ __all__ = [
     "APPS_PATH",
     "APPS_FLOORS",
     "APPS_AGGREGATE_FLOOR",
+    "NATIVE_ORDERING_SCHEMES",
+    "NATIVE_ORDERING_FLOORS",
+    "ND_NATIVE_WALL_CEILING_S",
+    "APPS_NATIVE_FLOORS",
+    "native_summary",
 ]
 
 SCHEMA_VERSION = 1
@@ -154,6 +159,33 @@ APPS_FLOORS: dict[str, float] = {
 #: the headline guarantee: batched RRR sampling + array greedy seeding
 #: together beat the scalar reference by at least this much.
 APPS_AGGREGATE_FLOOR = 3.0
+
+#: schemes with a native (C) tier, mapped to the kernel they escalate
+#: through; these get an extra native timing column in the ordering
+#: stage.
+NATIVE_ORDERING_SCHEMES: dict[str, str] = {
+    "gorder": "gorder_greedy",
+    "metis": "partition_fm",
+    "nested_dissection": "partition_fm",
+}
+
+#: native/scalar speedup floors, enforced only when the kernel actually
+#: compiled (an unavailable kernel falls back to the vector tier, which
+#: has its own floors above).
+NATIVE_ORDERING_FLOORS: dict[str, float] = {
+    "gorder": 3.0,
+}
+
+#: wall-clock ceiling (seconds) for native nested dissection on the
+#: largest surrogate — the separator-refinement gain loops must stay in
+#: C territory.
+ND_NATIVE_WALL_CEILING_S = 0.5
+
+#: native/scalar speedup floors for the application workloads, enforced
+#: only when the kernel compiled.
+APPS_NATIVE_FLOORS: dict[str, float] = {
+    "delta_stepping": 5.0,
+}
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -227,7 +259,7 @@ def measure(
         "dataset": dataset,
         "num_threads": num_threads,
         "num_accesses": num_accesses,
-        "native_kernel": _native.build_info(),
+        "native_kernels": build_info_all(),
         "timings_s": {k: round(v, 6) for k, v in timings.items()},
         "speedup": {
             "replay": round(replay_speedup, 3),
@@ -244,11 +276,16 @@ def measure(
 
 
 def _orderings_identical(a: Ordering, b: Ordering) -> bool:
-    """Same permutation, operation count, and metadata."""
+    """Same permutation, operation count, and metadata.
+
+    The recorded execution tier is the one sanctioned difference between
+    engines, so it is stripped before comparing.
+    """
     return (
         np.array_equal(a.permutation, b.permutation)
         and a.cost == b.cost
-        and a.metadata == b.metadata
+        and strip_engine_metadata(a.metadata)
+        == strip_engine_metadata(b.metadata)
     )
 
 
@@ -294,6 +331,18 @@ def measure_orderings(
             ),
             "identical": identical,
         }
+        if name in NATIVE_ORDERING_SCHEMES:
+            with use_engine("native"):
+                t_nat, o_nat = _best_of(
+                    lambda s=instance: s.order(graph), repeats
+                )
+            per_scheme[name].update(
+                native_s=round(t_nat, 6),
+                native_speedup=round(
+                    t_sca / t_nat if t_nat > 0 else float("inf"), 3
+                ),
+                native_identical=_orderings_identical(o_nat, o_sca),
+            )
 
     # Persistent store: cold fill then warm reload, in a throwaway dir.
     with tempfile.TemporaryDirectory() as tmp:
@@ -323,6 +372,7 @@ def measure_orderings(
     return {
         "schema_version": SCHEMA_VERSION,
         "dataset": dataset,
+        "native_kernels": build_info_all(),
         "schemes": per_scheme,
         "aggregate": {
             "vector_s": round(vector_total, 6),
@@ -350,6 +400,11 @@ def check_orderings(
                 f"{name}: vector permutation/cost/metadata diverged "
                 f"from the scalar reference"
             )
+        if not entry.get("native_identical", True):
+            failures.append(
+                f"{name}: native permutation/cost/metadata diverged "
+                f"from the scalar reference"
+            )
     if not result["cache"]["warm_identical"]:
         failures.append(
             "ordering store warm hits diverged from fresh computes"
@@ -368,7 +423,32 @@ def check_orderings(
                     f"{name}: speedup {entry['speedup']:.2f}x fell "
                     f"below its {floor:.1f}x floor"
                 )
+        for name, entry in result["schemes"].items():
+            kernel = NATIVE_ORDERING_SCHEMES.get(name)
+            if kernel is None or not _kernel_available(result, kernel):
+                continue  # vector fallback ran; its floors apply above
+            floor = NATIVE_ORDERING_FLOORS.get(name)
+            native_speedup = entry.get("native_speedup", 0.0)
+            if floor is not None and native_speedup < floor:
+                failures.append(
+                    f"{name}: native speedup {native_speedup:.2f}x "
+                    f"fell below its {floor:.1f}x floor"
+                )
+            if name == "nested_dissection":
+                wall = entry.get("native_s", float("inf"))
+                if wall > ND_NATIVE_WALL_CEILING_S:
+                    failures.append(
+                        f"nested_dissection: native wall {wall:.3f}s "
+                        f"exceeded the {ND_NATIVE_WALL_CEILING_S:.1f}s "
+                        f"ceiling"
+                    )
     return failures
+
+
+def _kernel_available(result: dict, kernel: str) -> bool:
+    """Whether a measurement ran with ``kernel`` actually compiled."""
+    info = result.get("native_kernels", {}).get(kernel, {})
+    return bool(info.get("available"))
 
 
 def _rrr_identical(a: list[RRRSet], b: list[RRRSet]) -> bool:
@@ -472,6 +552,17 @@ def measure_apps(
         bool(np.array_equal(d_sca, d_vec))
         and _items_identical(i_sca, i_vec),
     )
+    t_nat, (d_nat, i_nat) = _best_of(
+        lambda: delta_stepping(graph, 0, engine="native"), repeats
+    )
+    workloads["delta_stepping"].update(
+        native_s=round(t_nat, 6),
+        native_speedup=round(
+            t_sca / t_nat if t_nat > 0 else float("inf"), 3
+        ),
+        native_identical=bool(np.array_equal(d_sca, d_nat))
+        and _items_identical(i_sca, i_nat),
+    )
 
     t_sca, s_sca = _best_of(
         lambda: build_sweep_items(graph, engine="scalar"), repeats
@@ -499,6 +590,7 @@ def measure_apps(
         "probability": probability,
         "k": k,
         "jobs": jobs,
+        "native_kernels": build_info_all(),
         "workloads": workloads,
         "aggregate": {
             "scalar_s": round(imm_scalar, 6),
@@ -525,6 +617,11 @@ def check_apps(
                 f"{name}: vector result diverged from the scalar "
                 f"reference"
             )
+        if not entry.get("native_identical", True):
+            failures.append(
+                f"{name}: native result diverged from the scalar "
+                f"reference"
+            )
     if min_aggregate is not None:
         aggregate = result["aggregate"]["speedup"]
         if aggregate < min_aggregate:
@@ -539,7 +636,41 @@ def check_apps(
                     f"{name}: speedup {entry['speedup']:.2f}x fell "
                     f"below its {floor:.1f}x floor"
                 )
+        if _kernel_available(result, "delta_scan"):
+            floor = APPS_NATIVE_FLOORS["delta_stepping"]
+            native_speedup = result["workloads"]["delta_stepping"].get(
+                "native_speedup", 0.0
+            )
+            if native_speedup < floor:
+                failures.append(
+                    f"delta_stepping: native speedup "
+                    f"{native_speedup:.2f}x fell below its "
+                    f"{floor:.1f}x floor"
+                )
     return failures
+
+
+def native_summary(infos: dict[str, dict] | None = None) -> list[str]:
+    """One human-readable status line per native kernel.
+
+    ``infos`` defaults to a fresh :func:`repro._native.build_info_all`;
+    pass a measurement's recorded ``native_kernels`` to describe the run
+    that produced it.
+    """
+    if infos is None:
+        infos = build_info_all()
+    lines = []
+    for name in sorted(infos):
+        info = infos[name]
+        if info.get("available"):
+            detail = info.get("compiler") or "prebuilt"
+            if info.get("cache_hit"):
+                detail += ", cache hit"
+            lines.append(f"native {name}: ready ({detail})")
+        else:
+            reason = info.get("fallback") or info.get("status")
+            lines.append(f"native {name}: fallback to vector ({reason})")
+    return lines
 
 
 def check(result: dict, *, min_speedup: float | None = 3.0) -> list[str]:
@@ -668,6 +799,8 @@ def main(argv: list[str] | None = None) -> int:
                 stage_key, kind="perf", status="ok",
                 label=f"perf:{stage}:{dataset}", value=result,
             )
+    for line in native_summary(result.get("native_kernels")):
+        print(f"[{line}]", file=sys.stderr)
     print(json.dumps(result, indent=2))
 
     if args.write:

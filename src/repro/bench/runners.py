@@ -27,18 +27,25 @@ Resilience wiring (:mod:`repro.resilience`):
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable
 
 import numpy as np
 
-from ..datasets.registry import load
+from ..datasets.registry import install_shared_graph, load
+from ..graph import shm as graph_shm
 from ..graph.csr import CSRGraph
 from ..measures.gaps import GapMeasures, gap_measures
 from ..ordering.base import Ordering, get_scheme
 from ..ordering.store import default_store
 from ..resilience import faults
 from ..resilience.journal import active_journal, cell_key
-from .pool import default_timeout, map_cells, map_cells_detailed
+from .pool import (
+    default_jobs,
+    default_timeout,
+    map_cells,
+    map_cells_detailed,
+)
 
 __all__ = [
     "ordering_for",
@@ -195,6 +202,38 @@ def _ordering_cell(cell: tuple[str, str]) -> Ordering:
     return ordering_for(*cell)
 
 
+def _install_shared(metas: tuple[tuple[str, dict], ...]) -> None:
+    """Worker init: register the parent's shared-graph segments."""
+    for name, meta in metas:
+        install_shared_graph(name, meta)
+
+
+def _shared_worker_init(
+    missing: list[tuple[str, str]], jobs: int | None
+) -> Callable[[], None] | None:
+    """Publish each dataset's CSR once; workers then attach zero-copy.
+
+    Only kicks in when the warm will actually fan out (effective width
+    > 1) and sharing is enabled.  The parent loads each graph (it
+    usually needs them afterwards anyway, e.g. for gap measures) and
+    publishes it; the returned init — a picklable partial over a
+    module-level function — installs the segment metas in every worker
+    the supervisor (re)spawns.  Segments stay published until process
+    exit, so later warms reuse them for free.
+    """
+    width = jobs if jobs is not None else default_jobs()
+    if min(width, len(missing)) <= 1 or not graph_shm.shm_enabled():
+        return None
+    metas: list[tuple[str, dict]] = []
+    for dataset in dict.fromkeys(ds for _scheme, ds in missing):
+        meta = graph_shm.publish_graph(load(dataset))
+        if meta is not None:
+            metas.append((dataset, meta))
+    if not metas:
+        return None
+    return functools.partial(_install_shared, tuple(metas))
+
+
 def _measures_cell(cell: tuple[str, str]) -> GapMeasures:
     """Pool worker: compute one (scheme, dataset) gap-measure set."""
     return measures_for(*cell)
@@ -233,7 +272,11 @@ def _warm_supervised(
     if not dispatch:
         return
     for pair, result in zip(
-        dispatch, map_cells_detailed(worker, dispatch, jobs=jobs)
+        dispatch,
+        map_cells_detailed(
+            worker, dispatch, jobs=jobs,
+            worker_init=_shared_worker_init(dispatch, jobs),
+        ),
     ):
         scheme, dataset = pair
         journal_key = (
@@ -282,7 +325,11 @@ def warm_orderings(
         _warm_supervised(missing, kind="ordering", jobs=jobs)
         return
     for pair, ordering in zip(
-        missing, map_cells(_ordering_cell, missing, jobs=jobs)
+        missing,
+        map_cells(
+            _ordering_cell, missing, jobs=jobs,
+            worker_init=_shared_worker_init(missing, jobs),
+        ),
     ):
         _ordering_cache[pair] = ordering
 
@@ -300,7 +347,11 @@ def warm_measures(
         _warm_supervised(missing, kind="measures", jobs=jobs)
         return
     for pair, measures in zip(
-        missing, map_cells(_measures_cell, missing, jobs=jobs)
+        missing,
+        map_cells(
+            _measures_cell, missing, jobs=jobs,
+            worker_init=_shared_worker_init(missing, jobs),
+        ),
     ):
         _measures_cache[pair] = measures
 

@@ -3,23 +3,38 @@
 Surrogate construction is deterministic but not free (Delaunay, planted
 partitions), so built graphs are memoised per process.  Tests and
 benchmarks go through :func:`load` / :func:`load_many`.
+
+Pool workers can skip building entirely: when the parent published a
+dataset's CSR arrays into shared memory (:mod:`repro.graph.shm`) and
+installed the segment meta here via :func:`install_shared_graph`,
+:func:`load` attaches the segment zero-copy instead of calling the
+spec's builder.  A failed attach (segment gone, sharing disabled) falls
+back to building, so sharing is always only an optimisation.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
+from ..graph import shm as graph_shm
 from ..graph.csr import CSRGraph
 from .catalog import CATALOG, LARGE_SET, SMALL_SET, DatasetSpec
 
 __all__ = [
     "load",
     "load_many",
+    "install_shared_graph",
+    "shared_graph_metas",
     "spec",
     "dataset_names",
     "small_set",
     "large_set",
 ]
+
+#: per-process graph memo (explicit dict so shared-graph installs can
+#: invalidate a single entry, which ``lru_cache`` cannot).
+_graph_cache: dict[str, CSRGraph] = {}
+
+#: dataset name -> shared-memory segment meta (see repro.graph.shm).
+_shared_metas: dict[str, dict] = {}
 
 
 def spec(name: str) -> DatasetSpec:
@@ -32,10 +47,35 @@ def spec(name: str) -> DatasetSpec:
         ) from None
 
 
-@lru_cache(maxsize=None)
+def install_shared_graph(name: str, meta: dict) -> None:
+    """Serve future ``load(name)`` calls from a shared-memory segment.
+
+    Called in pool workers (via their ``worker_init``) with metas the
+    parent obtained from :func:`repro.graph.shm.publish_graph`.  Any
+    memoised graph for ``name`` is dropped so the next load attaches the
+    shared segment — forked workers would otherwise keep serving the
+    copy-on-write build they inherited.
+    """
+    _shared_metas[name] = meta
+    _graph_cache.pop(name, None)
+
+
+def shared_graph_metas() -> dict[str, dict]:
+    """The installed shared-graph metas (diagnostics and tests)."""
+    return dict(_shared_metas)
+
+
 def load(name: str) -> CSRGraph:
-    """Build (or fetch from cache) the surrogate graph for ``name``."""
-    return spec(name).build()
+    """Build (or fetch from cache / shared memory) the graph for ``name``."""
+    graph = _graph_cache.get(name)
+    if graph is None:
+        meta = _shared_metas.get(name)
+        if meta is not None:
+            graph = graph_shm.attach_graph(meta)
+        if graph is None:
+            graph = spec(name).build()
+        _graph_cache[name] = graph
+    return graph
 
 
 def load_many(names: tuple[str, ...] | list[str]) -> dict[str, CSRGraph]:

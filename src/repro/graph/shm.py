@@ -1,0 +1,246 @@
+"""Zero-copy CSR sharing across pool workers via shared memory.
+
+The experiment grids fan out over worker processes that each need the
+same dataset graphs.  Without sharing, every worker re-builds (or
+re-reads) each graph it touches — the dominant per-worker warm-up cost
+on wide grids.  This module publishes a :class:`~repro.graph.csr.
+CSRGraph`'s arrays into a ``multiprocessing.shared_memory`` segment
+once, in the parent; workers attach the segment and wrap its buffer in
+read-only numpy views, so the graph costs no copy and no rebuild in any
+worker, whether forked, spawned, or respawned after a crash.
+
+Lifecycle
+---------
+* The *owner* (the process that called :func:`publish_graph`) unlinks
+  every segment it created at interpreter exit; an ``os.getpid`` guard
+  makes the handler a no-op in forked children, which inherit the
+  bookkeeping dict but must never unlink the parent's segments.
+* Workers attach with :func:`attach_graph` and immediately unregister
+  the segment from ``multiprocessing.resource_tracker`` — attaching
+  registers it for cleanup-on-exit by default, which would destroy the
+  parent's segment when the first worker dies (exactly what the
+  supervisor's crash-respawn path must survive).
+* ``REPRO_NO_SHM=1`` disables publishing and attaching entirely; every
+  caller falls back to building graphs per process.
+
+Segment layout: ``indptr`` bytes, then ``indices``, then (for weighted
+graphs) ``weights``, all little-endian int64/float64 as numpy stores
+them.  The segment name embeds the graph's content hash and the owner
+pid, so republishing the same graph reuses the existing segment and
+distinct owner processes never collide.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "shm_enabled",
+    "publish_graph",
+    "attach_graph",
+    "unlink_all",
+    "detach_all",
+    "stats",
+]
+
+_PREFIX = "repro-csr-"
+
+#: segments this process created, by name (owner side).
+_published: dict[str, shared_memory.SharedMemory] = {}
+#: pid that created each published segment (fork-inheritance guard).
+_owner_pid: dict[str, int] = {}
+#: segments this process attached, by name: (segment, wrapped graph).
+_attached: dict[str, tuple[shared_memory.SharedMemory, CSRGraph]] = {}
+_atexit_registered = False
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory graph fan-out is enabled (REPRO_NO_SHM)."""
+    return os.environ.get("REPRO_NO_SHM", "") != "1"
+
+
+def _segment_name(graph: CSRGraph) -> str:
+    return f"{_PREFIX}{graph.content_hash()[:16]}-{os.getpid()}"
+
+
+def _register_atexit() -> None:
+    global _atexit_registered
+    if not _atexit_registered:
+        atexit.register(_cleanup_at_exit)
+        _atexit_registered = True
+
+
+def _cleanup_at_exit() -> None:  # pragma: no cover - exit hook
+    detach_all()
+    unlink_all()
+
+
+def _quiet_close(segment: shared_memory.SharedMemory) -> None:
+    """Close a segment without tripping over live numpy views.
+
+    ``close`` raises ``BufferError`` while views of the buffer are still
+    exported.  In that case the mapping's lifetime is handed to the
+    views: with the handles cleared, ``SharedMemory.__del__`` is a no-op
+    instead of retrying the close (and printing an ignored traceback at
+    GC time), and the mmap is released silently once the last view dies.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        segment._buf = None
+        segment._mmap = None
+
+
+def publish_graph(graph: CSRGraph) -> dict | None:
+    """Copy ``graph``'s CSR arrays into a shared segment; return its meta.
+
+    The meta dict is picklable and self-describing — pass it to a worker
+    and call :func:`attach_graph` there.  Publishing the same graph
+    again returns the existing segment's meta.  Returns ``None`` when
+    sharing is disabled or the segment cannot be created.
+    """
+    if not shm_enabled():
+        return None
+    name = _segment_name(graph)
+    n = graph.num_vertices
+    m = graph.num_directed_edges
+    weighted = graph.is_weighted
+    meta = {
+        "name": name,
+        "num_vertices": n,
+        "num_directed_edges": m,
+        "weighted": weighted,
+        "content_hash": graph.content_hash(),
+    }
+    if name in _published:
+        return meta
+    nbytes = 8 * (n + 1) + 8 * m + (8 * m if weighted else 0)
+    try:
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(nbytes, 1)
+        )
+    except FileExistsError:
+        # Leftover from a previous same-pid life (pid reuse) — adopt it.
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except OSError:
+            return None
+    except OSError:
+        return None
+    buf = segment.buf
+    offset = 0
+    for array in (graph.indptr, graph.indices, graph.weights):
+        if array is None:
+            continue
+        view = np.frombuffer(
+            buf, dtype=array.dtype, count=array.size, offset=offset
+        )
+        view[:] = array
+        offset += array.nbytes
+    _published[name] = segment
+    _owner_pid[name] = os.getpid()
+    _register_atexit()
+    return meta
+
+
+def _wrap(buf, meta: dict) -> CSRGraph:
+    """Read-only CSR views over a segment buffer."""
+    n = int(meta["num_vertices"])
+    m = int(meta["num_directed_edges"])
+    indptr = np.frombuffer(buf, dtype=np.int64, count=n + 1, offset=0)
+    indices = np.frombuffer(
+        buf, dtype=np.int64, count=m, offset=8 * (n + 1)
+    )
+    weights = None
+    if meta["weighted"]:
+        weights = np.frombuffer(
+            buf, dtype=np.float64, count=m, offset=8 * (n + 1) + 8 * m
+        )
+    for array in (indptr, indices, weights):
+        if array is not None:
+            array.setflags(write=False)
+    return CSRGraph(indptr, indices, weights)
+
+
+def attach_graph(meta: dict) -> CSRGraph | None:
+    """Attach a published segment as a zero-copy read-only graph.
+
+    Returns ``None`` when sharing is disabled or the segment is gone
+    (callers fall back to building the graph).  Attaches are memoised by
+    segment name; in the owner process the published segment is wrapped
+    directly instead of re-attached.
+    """
+    if not shm_enabled():
+        return None
+    name = meta["name"]
+    cached = _attached.get(name)
+    if cached is not None:
+        return cached[1]
+    segment = _published.get(name)
+    if segment is None:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            return None
+        # Attaching registered the segment with the resource tracker,
+        # which would unlink it when *this* process exits — but only the
+        # owner may unlink.  (Python 3.13 grows track=False for this.)
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker impl detail
+            pass
+    graph = _wrap(segment.buf, meta)
+    _attached[name] = (segment, graph)
+    _register_atexit()
+    return graph
+
+
+def detach_all() -> None:
+    """Drop attached graphs and close their segments (worker cleanup).
+
+    Segments whose buffers are still referenced by live numpy views are
+    handed to those views (:func:`_quiet_close`); either way they are
+    dropped from the attach memo.
+    """
+    for name, (segment, _graph) in list(_attached.items()):
+        _attached.pop(name, None)
+        if name in _published:
+            continue  # owner wrap of its own segment: unlink_all closes it
+        _quiet_close(segment)
+
+
+def unlink_all() -> None:
+    """Unlink every segment this process owns (idempotent, fork-safe).
+
+    Runs at interpreter exit in the owner; forked children inherit the
+    bookkeeping but the pid guard keeps them from destroying segments
+    they did not create.
+    """
+    pid = os.getpid()
+    for name, segment in list(_published.items()):
+        if _owner_pid.get(name) != pid:
+            continue
+        _published.pop(name, None)
+        _owner_pid.pop(name, None)
+        # The owner may also have wrapped its own segment via attach.
+        _attached.pop(name, None)
+        _quiet_close(segment)
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def stats() -> dict:
+    """Counters for tests and diagnostics."""
+    return {
+        "published": len(_published),
+        "attached": len(_attached),
+        "enabled": shm_enabled(),
+    }

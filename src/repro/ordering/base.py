@@ -16,6 +16,12 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from ..engine import (
+    ENGINE_METADATA_KEY,
+    engine_for_work,
+    resolve_engine,
+    use_engine,
+)
 from ..graph.csr import CSRGraph
 from ..graph.permute import apply_ordering, validate_ordering
 
@@ -173,11 +179,37 @@ class OrderingScheme(abc.ABC):
         rendered = ",".join(f"{k}={v!r}" for k, v in params.items())
         return f"{self.name}:v{self.version}:{rendered}"
 
+    def estimated_work(self, graph: CSRGraph) -> int | None:
+        """Rough abstract-operation estimate, for tier short-circuiting.
+
+        Trivial schemes (a couple of array ops) return an estimate so
+        :func:`repro.engine.engine_for_work` can drop tiny workloads to
+        the scalar tier, where vector dispatch overhead would dominate.
+        ``None`` (the default) never short-circuits.
+        """
+        return None
+
     def order(self, graph: CSRGraph) -> Ordering:
-        """Run the scheme and package the result."""
+        """Run the scheme and package the result.
+
+        The tier that actually ran is recorded in the metadata under
+        :data:`repro.engine.ENGINE_METADATA_KEY`; schemes with a native
+        kernel refine the value themselves (a kernel may be
+        unavailable), everything else is labelled with the dispatched
+        tier — ``"vector"`` when the native tier was requested, since a
+        scheme without a kernel runs its vector engine there.
+        """
         counter = OperationCounter()
         rng = np.random.default_rng(self._seed)
-        permutation, metadata = self.compute(graph, counter, rng)
+        ran = engine_for_work(self.estimated_work(graph))
+        if ran != resolve_engine():
+            with use_engine(ran):
+                permutation, metadata = self.compute(graph, counter, rng)
+        else:
+            permutation, metadata = self.compute(graph, counter, rng)
+        metadata.setdefault(
+            ENGINE_METADATA_KEY, "vector" if ran == "native" else ran
+        )
         return Ordering(
             scheme=self.name,
             permutation=validate_ordering(permutation, graph.num_vertices),

@@ -25,7 +25,8 @@ import heapq
 
 import numpy as np
 
-from ..engine import resolve_engine
+from .._native import gorder as _native_gorder
+from ..engine import ENGINE_METADATA_KEY, resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import ordering_from_sequence
 from .base import OperationCounter, OrderingScheme
@@ -89,12 +90,28 @@ class GorderOrder(OrderingScheme):
         if n == 0:
             return np.zeros(0, dtype=np.int64), {"window": self._window}
         degrees = graph.degrees()
+        engine = resolve_engine()
+        if engine == "native":
+            # Whole-greedy C kernel (repro._native.gorder): identical
+            # heap traffic, score updates, and operation totals.
+            native = _native_gorder.run(
+                graph.indptr, graph.indices, degrees, self._window
+            )
+            if native is not None:
+                sequence_arr, edge_ops, compare_ops = native
+                counter.count_edges(edge_ops)
+                counter.count_compares(compare_ops)
+                counter.count_vertices(n)
+                return ordering_from_sequence(sequence_arr), {
+                    "window": self._window,
+                    ENGINE_METADATA_KEY: "native",
+                }
         placed = np.zeros(n, dtype=bool)
         sequence: list[int] = []
         # Lazy max-heap of (-key, vertex); stale entries are skipped on pop.
         heap: list[tuple[int, int]] = []
 
-        if resolve_engine() == "scalar":
+        if engine == "scalar":
             key: object = np.zeros(n, dtype=np.int64)
             neighbor_lists = None
         else:
@@ -176,4 +193,7 @@ class GorderOrder(OrderingScheme):
         counter.count_vertices(n)
         return ordering_from_sequence(np.asarray(sequence, dtype=np.int64)), {
             "window": self._window,
+            ENGINE_METADATA_KEY: (
+                "scalar" if engine == "scalar" else "vector"
+            ),
         }

@@ -22,6 +22,9 @@ class NaturalOrder(OrderingScheme):
     name = "natural"
     category = "baseline"
 
+    def estimated_work(self, graph: CSRGraph) -> int:
+        return graph.num_vertices
+
     def compute(
         self,
         graph: CSRGraph,
@@ -37,6 +40,9 @@ class RandomOrder(OrderingScheme):
 
     name = "random"
     category = "baseline"
+
+    def estimated_work(self, graph: CSRGraph) -> int:
+        return graph.num_vertices
 
     def compute(
         self,

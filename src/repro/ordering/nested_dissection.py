@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._native import fm as _native_fm
+from ..engine import ENGINE_METADATA_KEY, resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import ordering_from_sequence
 from ..graph.subgraph import induced_subgraph
@@ -58,9 +60,13 @@ class NestedDissectionOrder(OrderingScheme):
             depth=0,
         )
         counter.count_vertices(n)
+        engine = resolve_engine()
+        if engine == "native" and _native_fm.KERNEL.lib() is None:
+            engine = "vector"  # partition kernels unavailable: numpy ran
         return ordering_from_sequence(sequence), {
             "max_depth": self._max_depth,
             "leaf_size": self._leaf_size,
+            ENGINE_METADATA_KEY: engine,
         }
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._native import fm as _native_fm
 from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 
@@ -92,12 +93,54 @@ def _grow_one(
     rng: np.random.Generator,
     target: float,
 ) -> np.ndarray:
-    """One graph-growing trial from a random seed vertex."""
+    """One graph-growing trial from a random seed vertex.
+
+    The rng draws (seed pick, disconnected top-up) stay in Python so the
+    random stream is identical across tiers; only the deterministic
+    growth loop escalates to the C kernel under the native tier.
+    """
     n = graph.num_vertices
     part = np.ones(n, dtype=np.int64)  # everything starts in part 1
     seed = int(rng.integers(n))
-    in_zero = np.zeros(n, dtype=bool)
+    grown: float | None = None
+    if resolve_engine() == "native":
+        grown = _native_fm.grow_region(
+            graph.indptr,
+            graph.indices,
+            graph.weights,
+            np.ascontiguousarray(vertex_weights, dtype=np.float64),
+            seed,
+            target,
+            part,
+        )
+    if grown is None:
+        grown = _grow_one_scalar(graph, vertex_weights, part, seed, target)
+    if not (part == 0).any():
+        # degenerate: put the seed alone in part 0
+        part[seed] = 0
+    elif grown == 0.0:
+        part[seed] = 0
+    # If we ran out of frontier before reaching target (disconnected coarse
+    # graph), top up with arbitrary part-1 vertices.
+    while grown < target:
+        remaining = np.flatnonzero(part == 1)
+        if remaining.size <= 1:
+            break
+        v = int(remaining[rng.integers(remaining.size)])
+        part[v] = 0
+        grown += float(vertex_weights[v])
+    return part
 
+
+def _grow_one_scalar(
+    graph: CSRGraph,
+    vertex_weights: np.ndarray,
+    part: np.ndarray,
+    seed: int,
+    target: float,
+) -> float:
+    """The reference growth loop; mutates ``part``, returns grown weight."""
+    in_zero = np.zeros(part.size, dtype=bool)
     # gain[v] = (weight to part 0) - (weight to part 1-side neighbours);
     # we track only the frontier lazily with a dict for simplicity at the
     # coarsest-graph scale (tens of vertices).
@@ -119,18 +162,4 @@ def _grow_one(
             if in_zero[u]:
                 continue
             frontier[u] = frontier.get(u, 0.0) + float(w)
-    if not in_zero.any():
-        # degenerate: put the seed alone in part 0
-        part[seed] = 0
-    elif grown == 0.0:
-        part[seed] = 0
-    # If we ran out of frontier before reaching target (disconnected coarse
-    # graph), top up with arbitrary part-1 vertices.
-    while grown < target:
-        remaining = np.flatnonzero(part == 1)
-        if remaining.size <= 1:
-            break
-        v = int(remaining[rng.integers(remaining.size)])
-        part[v] = 0
-        grown += float(vertex_weights[v])
-    return part
+    return grown

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._native import fm as _native_fm
 from ..engine import resolve_engine
 from ..graph.csr import CSRGraph
 
@@ -46,7 +47,19 @@ def heavy_edge_matching(
     """
     n = graph.num_vertices
     visit_order = rng.permutation(n)
-    if resolve_engine() != "scalar":
+    engine = resolve_engine()
+    if engine == "native":
+        match = _native_fm.hem_match(
+            graph.indptr,
+            graph.indices,
+            graph.weights,
+            np.ascontiguousarray(visit_order, dtype=np.int64),
+            vertex_weights,
+            max_vertex_weight,
+        )
+        if match is not None:
+            return match
+    if engine != "scalar":
         return _heavy_edge_matching_vector(
             graph, visit_order, vertex_weights, max_vertex_weight
         )
@@ -131,7 +144,14 @@ def matching_to_coarse_map(match: np.ndarray) -> tuple[np.ndarray, int]:
     deterministic given the matching.
     """
     n = match.size
-    if resolve_engine() != "scalar":
+    engine = resolve_engine()
+    if engine == "native":
+        mapped = _native_fm.coarse_map(
+            np.ascontiguousarray(match, dtype=np.int64)
+        )
+        if mapped is not None:
+            return mapped
+    if engine != "scalar":
         # Each pair's representative is its lower fine id; the scalar scan
         # assigns ids in ascending representative order, which is exactly
         # np.unique's sorted inverse.

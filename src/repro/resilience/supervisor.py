@@ -96,6 +96,7 @@ def _worker_loop(
     tasks,
     results,
     timeout_hint: float | None,
+    worker_init: Callable[[], None] | None = None,
 ) -> None:
     """One supervised worker: run cells from ``tasks`` until sentinel.
 
@@ -111,6 +112,11 @@ def _worker_loop(
     supervisor exercises true process-death recovery; injected timeouts
     stall past the supervisor's deadline when one is configured.
     """
+    if worker_init is not None:
+        try:
+            worker_init()
+        except Exception:  # noqa: BLE001 - init is only an optimisation
+            pass  # cells still run; they just rebuild what init shared
     stall = timeout_hint * 4.0 if timeout_hint else None
     while True:
         try:
@@ -219,6 +225,7 @@ def run_supervised(
     retries: int = 2,
     backoff_base: float = 0.05,
     backoff_seed: int = 0,
+    worker_init: Callable[[], None] | None = None,
 ) -> list[CellResult]:
     """Run ``worker`` over ``cells`` under supervision.
 
@@ -228,6 +235,14 @@ def run_supervised(
     seconds (``None`` = unbounded); ``retries`` bounds re-execution
     after a crash, timeout, or exception, with deterministic seeded
     backoff between attempts.
+
+    ``worker_init`` runs once in every worker process before its first
+    cell — including workers respawned after a crash — and is the hook
+    for attaching shared-memory graphs (:mod:`repro.graph.shm`).  It
+    must be picklable under spawn contexts; failures are swallowed (the
+    init is an optimisation, never a correctness dependency).  The
+    in-process sequential path never calls it: the parent already holds
+    whatever the init would share.
 
     ``KeyboardInterrupt`` (and any other supervisor-level error)
     terminates and joins every worker before propagating — a Ctrl-C on
@@ -253,6 +268,7 @@ def run_supervised(
         retries=retries,
         backoff_base=backoff_base,
         backoff_seed=backoff_seed,
+        worker_init=worker_init,
     )
 
 
@@ -265,6 +281,7 @@ def _run_parallel(
     retries: int,
     backoff_base: float,
     backoff_seed: int,
+    worker_init: Callable[[], None] | None = None,
 ) -> list[CellResult]:
     """The supervised pool proper (see :func:`run_supervised`)."""
     ctx = _context()
@@ -274,7 +291,7 @@ def _run_parallel(
         result_recv, result_send = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_loop,
-            args=(worker, task_recv, result_send, timeout),
+            args=(worker, task_recv, result_send, timeout, worker_init),
             daemon=True,
         )
         process.start()

@@ -1,184 +1,36 @@
 """Optional compiled LRU-replay kernel for the batched cache engine.
 
-The exact batched replay (:mod:`repro.simulator.batch`) spends nearly all
-of its time walking short per-set tag runs through an LRU list — a loop
-with no numpy-friendly structure.  This module compiles that one loop with
-the system C compiler the first time it is needed and loads it through
-:mod:`ctypes`.  Everything is gated:
-
-* no compiler, no ``ctypes``, or any build failure → :func:`lib` returns
-  ``None`` and callers fall back to the pure-Python walk (bit-identical);
-* ``REPRO_NO_NATIVE=1`` in the environment forces the fallback, which the
-  property tests use to exercise both paths.
-
-The shared object is cached under ``~/.cache/repro-native`` (or the
-system temp dir) keyed by a hash of the C source, so compilation happens
-once per machine, not once per process.
+The kernel itself now lives in :mod:`repro._native.lru` on the shared
+lazy-compilation infrastructure (:mod:`repro._native.core`); this module
+keeps the original access surface — module-level ``_lib``/``_tried``
+state that tests monkeypatch to force the pure-Python walk, plus
+:func:`lib` / :func:`build_info` — so the batched engine and its
+property tests are unchanged.
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
-import tempfile
+
+from .._native import lru
 
 __all__ = ["lib", "build_info"]
 
-#: Exact set-associative LRU replay over set-grouped tag runs.
-#:
-#: ``ways``/``dirty`` hold each touched set's resident tags in LRU→MRU
-#: order (the same order as the Python dict), ``-1`` padded.  A hit moves
-#: the tag to the MRU slot; a miss evicts slot 0 when the set is full and
-#: appends the tag clean (loads never dirty lines).  A tag equal to the
-#: set's current MRU hits with no state change — the same collapse the
-#: Python engine applies.  ``miss_out`` is per *sorted* position.
-_SOURCE = r"""
-#include <stdint.h>
-
-int64_t lru_replay(const int64_t *sorted_tags,
-                   const int64_t *group_off,
-                   int64_t num_groups,
-                   int64_t assoc,
-                   int64_t *state_tags,
-                   uint8_t *state_dirty,
-                   int64_t *state_len,
-                   uint8_t *miss_out,
-                   int64_t *writebacks_out)
-{
-    int64_t misses = 0;
-    int64_t writebacks = 0;
-    for (int64_t gi = 0; gi < num_groups; gi++) {
-        int64_t *ways = state_tags + gi * assoc;
-        uint8_t *dirty = state_dirty + gi * assoc;
-        int64_t len = state_len[gi];
-        const int64_t lo = group_off[gi];
-        const int64_t hi = group_off[gi + 1];
-        for (int64_t i = lo; i < hi; i++) {
-            const int64_t tag = sorted_tags[i];
-            if (len && ways[len - 1] == tag)
-                continue; /* MRU hit: refresh is a no-op */
-            int64_t j = len - 1;
-            while (j >= 0 && ways[j] != tag)
-                j--;
-            if (j >= 0) {
-                /* hit: shift up, reinsert at MRU */
-                const uint8_t was_dirty = dirty[j];
-                for (int64_t k = j; k < len - 1; k++) {
-                    ways[k] = ways[k + 1];
-                    dirty[k] = dirty[k + 1];
-                }
-                ways[len - 1] = tag;
-                dirty[len - 1] = was_dirty;
-            } else {
-                misses++;
-                miss_out[i] = 1;
-                if (len >= assoc) {
-                    if (dirty[0])
-                        writebacks++;
-                    for (int64_t k = 0; k < len - 1; k++) {
-                        ways[k] = ways[k + 1];
-                        dirty[k] = dirty[k + 1];
-                    }
-                    ways[len - 1] = tag;
-                    dirty[len - 1] = 0;
-                } else {
-                    ways[len] = tag;
-                    dirty[len] = 0;
-                    len++;
-                }
-            }
-        }
-        state_len[gi] = len;
-    }
-    *writebacks_out = writebacks;
-    return misses;
-}
-"""
-
 _lib: ctypes.CDLL | None = None
 _tried = False
-_status = "not built"
-
-
-def _cache_dir() -> str:
-    """Directory for the compiled shared object."""
-    base = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
-    path = os.path.join(base, "repro-native")
-    try:
-        os.makedirs(path, exist_ok=True)
-        return path
-    except OSError:
-        return tempfile.gettempdir()
-
-
-def _compiler() -> str | None:
-    """The first available C compiler, or None."""
-    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
-        if cand and shutil.which(cand):
-            return cand
-    return None
-
-
-def _build() -> ctypes.CDLL:
-    """Compile (or reuse) the kernel and load it with prototypes set."""
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    so_path = os.path.join(_cache_dir(), f"lru_{digest}.so")
-    if not os.path.exists(so_path):
-        cc = _compiler()
-        if cc is None:
-            raise RuntimeError("no C compiler found")
-        with tempfile.TemporaryDirectory() as tmp:
-            c_path = os.path.join(tmp, "lru.c")
-            with open(c_path, "w") as f:
-                f.write(_SOURCE)
-            tmp_so = os.path.join(tmp, "lru.so")
-            subprocess.run(
-                [cc, "-O3", "-fPIC", "-shared", "-o", tmp_so, c_path],
-                check=True,
-                capture_output=True,
-            )
-            # atomic publish so concurrent builders cannot race
-            os.replace(tmp_so, so_path)
-    lib = ctypes.CDLL(so_path)
-    p_i64 = ctypes.POINTER(ctypes.c_int64)
-    p_u8 = ctypes.POINTER(ctypes.c_uint8)
-    lib.lru_replay.argtypes = [
-        p_i64,  # sorted_tags
-        p_i64,  # group_off
-        ctypes.c_int64,  # num_groups
-        ctypes.c_int64,  # assoc
-        p_i64,  # state_tags
-        p_u8,  # state_dirty
-        p_i64,  # state_len
-        p_u8,  # miss_out
-        p_i64,  # writebacks_out
-    ]
-    lib.lru_replay.restype = ctypes.c_int64
-    return lib
 
 
 def lib() -> ctypes.CDLL | None:
     """The compiled kernel, or None when unavailable or disabled."""
-    global _lib, _tried, _status
+    global _lib, _tried
     if _tried:
         return _lib
     _tried = True
-    if os.environ.get("REPRO_NO_NATIVE"):
-        _status = "disabled by REPRO_NO_NATIVE"
-        return None
-    try:
-        _lib = _build()
-        _status = "compiled"
-    except Exception as exc:  # pragma: no cover - depends on toolchain
-        _lib = None
-        _status = f"unavailable ({exc.__class__.__name__})"
+    _lib = lru.KERNEL.lib()
     return _lib
 
 
 def build_info() -> str:
     """Human-readable status of the native kernel (for the perf harness)."""
     lib()
-    return _status
+    return lru.KERNEL.build_info()["status"]

@@ -1,0 +1,253 @@
+"""Zero-copy shared-memory graph fan-out: lifecycle and crash safety.
+
+The contract of :mod:`repro.graph.shm`: the owner publishes CSR arrays
+once, workers attach read-only views with no copy, crashed-and-respawned
+workers re-attach, and no ``/dev/shm/repro-csr-*`` segment outlives the
+owner — under normal exit, Ctrl-C, and worker death alike.  Attaching is
+always only an optimisation: a missing segment or ``REPRO_NO_SHM=1``
+falls back to building the graph.
+"""
+
+import functools
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.datasets import registry
+from repro.graph import shm
+from repro.graph.generators import random_graph
+from repro.resilience.supervisor import run_supervised
+
+def _has_dev_shm() -> bool:
+    return os.path.isdir("/dev/shm")
+
+
+@pytest.fixture(autouse=True)
+def _clean_shm(monkeypatch):
+    """Isolate every test: no injected faults, no leftover segments."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+    yield
+    shm.detach_all()
+    shm.unlink_all()
+    registry._shared_metas.clear()
+    registry._graph_cache.pop("euroroad", None)
+
+
+@pytest.fixture
+def graph():
+    return random_graph(150, 600, seed=21)
+
+
+# ---------------------------------------------------------------------------
+# Publish / attach basics
+# ---------------------------------------------------------------------------
+def test_publish_attach_roundtrip(graph):
+    meta = shm.publish_graph(graph)
+    assert meta is not None
+    assert meta["content_hash"] == graph.content_hash()
+    attached = shm.attach_graph(meta)
+    assert attached is not None
+    assert np.array_equal(attached.indptr, graph.indptr)
+    assert np.array_equal(attached.indices, graph.indices)
+    assert attached.content_hash() == graph.content_hash()
+
+
+def test_attached_views_are_read_only(graph):
+    attached = shm.attach_graph(shm.publish_graph(graph))
+    with pytest.raises(ValueError):
+        attached.indptr[0] = 7
+    with pytest.raises(ValueError):
+        attached.indices[0] = 7
+
+
+def test_weighted_graph_roundtrip():
+    rng = np.random.default_rng(5)
+    n, m = 60, 180
+    pairs = [(int(u), int(v)) for u, v in rng.integers(0, n, (m, 2))]
+    from repro.graph import from_edges
+
+    weighted = from_edges(
+        n, pairs, weights=[round(w, 3) for w in rng.uniform(0.1, 2, m)]
+    )
+    attached = shm.attach_graph(shm.publish_graph(weighted))
+    assert attached.is_weighted
+    assert np.array_equal(attached.weights, weighted.weights)
+    assert attached.content_hash() == weighted.content_hash()
+
+
+def test_republish_reuses_segment(graph):
+    first = shm.publish_graph(graph)
+    before = shm.stats()["published"]
+    second = shm.publish_graph(graph)
+    assert first == second
+    assert shm.stats()["published"] == before
+
+
+def test_attach_is_memoised(graph):
+    meta = shm.publish_graph(graph)
+    assert shm.attach_graph(meta) is shm.attach_graph(meta)
+
+
+def test_attach_missing_segment_returns_none(graph):
+    meta = dict(shm.publish_graph(graph))
+    shm.unlink_all()
+    meta["name"] = "repro-csr-0000000000000000-1"
+    assert shm.attach_graph(meta) is None
+
+
+def test_no_shm_gate(monkeypatch, graph):
+    meta = shm.publish_graph(graph)
+    monkeypatch.setenv("REPRO_NO_SHM", "1")
+    assert not shm.shm_enabled()
+    assert shm.publish_graph(graph) is None
+    assert shm.attach_graph(meta) is None
+
+
+def test_unlink_all_idempotent(graph):
+    shm.publish_graph(graph)
+    shm.unlink_all()
+    shm.unlink_all()
+    assert shm.stats()["published"] == 0
+
+
+@pytest.mark.skipif(not _has_dev_shm(), reason="no /dev/shm")
+def test_unlink_removes_dev_shm_entry(graph):
+    meta = shm.publish_graph(graph)
+    path = f"/dev/shm/{meta['name']}"
+    assert os.path.exists(path)
+    shm.unlink_all()
+    assert not os.path.exists(path)
+
+
+# ---------------------------------------------------------------------------
+# Registry integration
+# ---------------------------------------------------------------------------
+def test_registry_load_attaches_shared_graph(graph):
+    built = registry.load("euroroad")
+    meta = shm.publish_graph(built)
+    registry.install_shared_graph("euroroad", meta)
+    served = registry.load("euroroad")
+    # Read-only views prove the graph came from the segment, not a build.
+    assert not served.indptr.flags.writeable
+    assert served.content_hash() == built.content_hash()
+    assert registry.shared_graph_metas()["euroroad"] == meta
+
+
+def test_registry_falls_back_when_segment_gone(graph):
+    built = registry.load("euroroad")
+    meta = shm.publish_graph(built)
+    shm.unlink_all()
+    registry.install_shared_graph("euroroad", meta)
+    served = registry.load("euroroad")  # attach fails -> rebuilds
+    assert served.indptr.flags.writeable
+    assert served.content_hash() == built.content_hash()
+
+
+# ---------------------------------------------------------------------------
+# Worker fan-out: attach, crash + respawn, owner-side cleanup
+# ---------------------------------------------------------------------------
+def _worker_init(metas):
+    for name, meta in metas:
+        registry.install_shared_graph(name, meta)
+
+
+def _load_cell(name):
+    g = registry.load(name)
+    return (
+        int(g.num_vertices),
+        g.content_hash(),
+        not g.indptr.flags.writeable,  # True iff served zero-copy
+    )
+
+
+def _crashy_load_cell(cell):
+    name, marker = cell
+    if marker and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(77)
+    return _load_cell(name)
+
+
+def test_workers_attach_zero_copy(graph):
+    built = registry.load("euroroad")
+    meta = shm.publish_graph(built)
+    results = run_supervised(
+        _load_cell, ["euroroad"] * 4, jobs=2,
+        worker_init=functools.partial(_worker_init, (("euroroad", meta),)),
+    )
+    assert all(r.ok for r in results)
+    for r in results:
+        n, digest, zero_copy = r.value
+        assert n == built.num_vertices
+        assert digest == built.content_hash()
+        assert zero_copy
+
+
+def test_crashed_worker_respawns_and_reattaches(tmp_path, graph):
+    built = registry.load("euroroad")
+    meta = shm.publish_graph(built)
+    segment_path = f"/dev/shm/{meta['name']}"
+    marker = str(tmp_path / "crash-once")
+    cells = [("euroroad", marker if i == 1 else "") for i in range(4)]
+    results = run_supervised(
+        _crashy_load_cell, cells, jobs=2, retries=2, backoff_base=0.01,
+        worker_init=functools.partial(_worker_init, (("euroroad", meta),)),
+    )
+    assert all(r.ok for r in results)
+    assert any(r.attempts > 1 for r in results)  # the crash really happened
+    for r in results:
+        assert r.value[1] == built.content_hash()
+        assert r.value[2]  # respawned worker re-attached zero-copy
+    if _has_dev_shm():
+        # Dying workers must not have destroyed the owner's segment.
+        assert os.path.exists(segment_path)
+
+
+# ---------------------------------------------------------------------------
+# Owner exit cleanup (normal, Ctrl-C)
+# ---------------------------------------------------------------------------
+_EXIT_SCRIPT = """
+import sys
+from repro.graph import shm
+from repro.graph.generators import random_graph
+
+graph = random_graph(120, 500, seed=33)
+meta = shm.publish_graph(graph)
+assert meta is not None
+attached = shm.attach_graph(meta)
+assert attached is not None
+print(meta["name"])
+sys.stdout.flush()
+{finale}
+"""
+
+
+def _run_owner(finale):
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-c", _EXIT_SCRIPT.format(finale=finale)],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+
+
+@pytest.mark.skipif(not _has_dev_shm(), reason="no /dev/shm")
+def test_normal_exit_unlinks_segments():
+    proc = _run_owner("")
+    name = proc.stdout.strip().splitlines()[-1]
+    assert name.startswith("repro-csr-")
+    assert not os.path.exists(f"/dev/shm/{name}")
+    assert "Exception ignored" not in proc.stderr
+
+
+@pytest.mark.skipif(not _has_dev_shm(), reason="no /dev/shm")
+def test_keyboard_interrupt_unlinks_segments():
+    proc = _run_owner("raise KeyboardInterrupt")
+    name = proc.stdout.strip().splitlines()[-1]
+    assert proc.returncode != 0
+    assert not os.path.exists(f"/dev/shm/{name}")
+    assert "Exception ignored" not in proc.stderr

@@ -1,0 +1,226 @@
+"""The native (C) tier is bit-identical to its scalar ground truth.
+
+Every :class:`repro._native.core.NativeKernel` declares scalar and
+vector twins; this suite is the dynamic half of that contract (the
+static half is the reprolint ``native-twin`` check).  Each kernel is
+driven against its scalar twin over structured and random inputs, the
+``REPRO_NO_NATIVE`` gate is exercised through ``reset()``, and the
+build-info reporting surface is pinned.
+
+``make bench-native`` runs this file twice — once with the C tier and
+once under ``REPRO_NO_NATIVE=1`` — so a kernel regression and a
+fallback regression are both loud.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _native
+from repro._native import core as native_core
+from repro.apps.delta_stepping import delta_stepping
+from repro.engine import use_engine
+from repro.graph import from_edges
+from repro.ordering import get_scheme
+from tests.conftest import make_grid, make_two_cliques, random_graph
+
+KERNEL_NAMES = ("lru_replay", "gorder_greedy", "partition_fm", "delta_scan")
+
+GRAPHS = {
+    "grid": make_grid(7, 6),
+    "cliques": make_two_cliques(6),
+    "random": random_graph(120, 520, seed=5),
+    "empty": from_edges(4, []),
+    "single": from_edges(1, []),
+}
+
+
+def native_available() -> bool:
+    return all(
+        native_core.get_kernel(name).lib() is not None
+        for name in KERNEL_NAMES
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry and build reporting
+# ---------------------------------------------------------------------------
+def test_all_kernels_registered():
+    assert set(KERNEL_NAMES) <= set(native_core.kernel_names())
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_build_info_fields(name):
+    info = native_core.get_kernel(name).build_info()
+    assert info["kernel"] == name
+    assert isinstance(info["available"], bool)
+    assert isinstance(info["status"], str) and info["status"]
+    assert info["source_digest"]
+    for role in ("scalar_twin", "vector_twin"):
+        assert ":" in info[role]
+    if info["available"]:
+        assert info["fallback"] is None
+    else:
+        assert info["fallback"] == info["status"]
+
+
+def test_build_info_all_covers_every_kernel():
+    infos = _native.build_info_all()
+    assert set(KERNEL_NAMES) <= set(infos)
+    for name, info in infos.items():
+        assert info["kernel"] == name
+
+
+def test_twins_resolve_dynamically():
+    import importlib
+
+    for name in KERNEL_NAMES:
+        info = native_core.get_kernel(name).build_info()
+        for role in ("scalar_twin", "vector_twin"):
+            mod_name, qualname = info[role].split(":")
+            obj = importlib.import_module(mod_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+            assert callable(obj)
+
+
+def test_no_native_gate_disables_kernel(monkeypatch):
+    kernel = native_core.get_kernel("lru_replay")
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    kernel.reset()
+    try:
+        assert kernel.lib() is None
+        info = kernel.build_info()
+        assert not info["available"]
+        assert "REPRO_NO_NATIVE" in info["status"]
+    finally:
+        monkeypatch.delenv("REPRO_NO_NATIVE")
+        kernel.reset()
+    # With the gate lifted the kernel builds again (or reports a real
+    # toolchain failure — never the disabled status).
+    assert "REPRO_NO_NATIVE" not in kernel.build_info()["status"]
+
+
+def test_reset_forgets_build_state():
+    kernel = native_core.get_kernel("gorder_greedy")
+    kernel.lib()
+    kernel.reset()
+    assert kernel.build_info()["status"] != "not built"  # rebuilt lazily
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: orderings through the native tier
+# ---------------------------------------------------------------------------
+def order_with(scheme_name, graph, engine):
+    with use_engine(engine):
+        return get_scheme(scheme_name).order(graph)
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ("gorder", "metis", "nested_dissection")
+)
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_native_orderings_match_scalar(scheme_name, graph_name):
+    graph = GRAPHS[graph_name]
+    native = order_with(scheme_name, graph, "native")
+    scalar = order_with(scheme_name, graph, "scalar")
+    assert np.array_equal(native.permutation, scalar.permutation)
+    assert native.cost == scalar.cost
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ("gorder", "metis", "nested_dissection")
+)
+@given(
+    n=st.integers(2, 24),
+    edges=st.lists(
+        st.tuples(st.integers(0, 23), st.integers(0, 23)),
+        min_size=0,
+        max_size=80,
+    ),
+)
+@settings(max_examples=10, deadline=None)
+def test_native_orderings_match_scalar_random_shapes(scheme_name, n, edges):
+    graph = from_edges(n, [(u % n, v % n) for u, v in edges])
+    native = order_with(scheme_name, graph, "native")
+    scalar = order_with(scheme_name, graph, "scalar")
+    assert np.array_equal(native.permutation, scalar.permutation)
+    assert native.cost == scalar.cost
+
+
+def test_native_ordering_metadata_records_tier():
+    graph = GRAPHS["random"]
+    native = order_with("gorder", graph, "native")
+    expected = (
+        "native"
+        if native_core.get_kernel("gorder_greedy").lib() is not None
+        else "vector"
+    )
+    assert native.metadata["engine"] == expected
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: delta-stepping through the native tier
+# ---------------------------------------------------------------------------
+def assert_same_sssp(a, b):
+    dist_a, items_a = a
+    dist_b, items_b = b
+    assert np.array_equal(dist_a, dist_b, equal_nan=True)
+    assert len(items_a) == len(items_b)
+    for x, y in zip(items_a, items_b):
+        assert np.array_equal(x.lines, y.lines)
+        assert x.compute_cycles == y.compute_cycles
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_native_delta_stepping_matches_scalar(graph_name):
+    graph = GRAPHS[graph_name]
+    native = delta_stepping(graph, 0, engine="native")
+    scalar = delta_stepping(graph, 0, engine="scalar")
+    assert_same_sssp(native, scalar)
+
+
+@given(
+    n=st.integers(2, 24),
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 23),
+            st.integers(0, 23),
+            st.floats(0.1, 4.0, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=80,
+    ),
+    source=st.integers(0, 23),
+)
+@settings(max_examples=10, deadline=None)
+def test_native_delta_stepping_weighted_random(n, edges, source):
+    pairs = [(u % n, v % n) for u, v, _w in edges]
+    weights = [round(w, 3) for _u, _v, w in edges]
+    graph = from_edges(n, pairs, weights=weights)
+    native = delta_stepping(graph, source % n, engine="native")
+    scalar = delta_stepping(graph, source % n, engine="scalar")
+    assert_same_sssp(native, scalar)
+
+
+# ---------------------------------------------------------------------------
+# LRU replay through the batched engine (kernel vs pure-Python walk)
+# ---------------------------------------------------------------------------
+def test_lru_kernel_matches_python_walk(monkeypatch):
+    from repro.simulator import _native as sim_native
+    from repro.simulator import batch as sim_batch
+    from repro.simulator.cache import Cache, CacheConfig
+
+    rng = np.random.default_rng(11)
+    lines = rng.integers(0, 200, size=2000).astype(np.int64)
+    config = CacheConfig(size_bytes=4096, line_bytes=64, associativity=4)
+
+    def run():
+        return sim_batch.cache_access_batch(Cache(config), lines)
+
+    with_kernel = run()
+    monkeypatch.setattr(sim_native, "_lib", None)
+    monkeypatch.setattr(sim_native, "_tried", True)
+    without_kernel = run()
+    assert np.array_equal(with_kernel, without_kernel)
