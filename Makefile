@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 
 .PHONY: install test lint test-sanitize test-faults bench bench-paper \
-	bench-ablations bench-perf bench-native examples clean
+	bench-ablations bench-perf bench-native bench-threads examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -35,6 +35,10 @@ bench-perf:
 	PYTHONPATH=src python -m repro.bench.perf --check
 	PYTHONPATH=src python -m repro.bench.perf --orderings --check
 	PYTHONPATH=src python -m repro.bench.perf --apps --check
+	PYTHONPATH=src python -m repro.bench.perf --threads --check
+
+bench-threads:
+	PYTHONPATH=src python -m repro.bench.perf --threads --check
 
 bench-native:
 	PYTHONPATH=src python -m repro.bench --native-info

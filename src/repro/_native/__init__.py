@@ -8,26 +8,41 @@ bit-identical escalation.  Kernels declare their scalar and vector twins
 (verified statically by :mod:`repro.analysis.contracts`) and report
 their build status through :func:`build_info_all`.
 
+Thread-parallel kernels (``threaded=True``) additionally declare a
+``serial_twin`` and obey the hard contract that results are
+bit-identical for every ``REPRO_NATIVE_THREADS`` value
+(:func:`native_threads`).
+
 Kernels:
 
-* ``lru_replay`` — set-associative LRU replay (:mod:`.lru`);
+* ``lru_replay`` — set-associative LRU replay, threaded over
+  independent cache sets (:mod:`.lru`);
 * ``gorder_greedy`` — the whole Gorder sliding-window greedy
   (:mod:`.gorder`);
 * ``partition_fm`` — FM boundary refinement and greedy region growing
   for nested dissection / METIS (:mod:`.fm`);
-* ``delta_scan`` — delta-stepping bucket relaxation (:mod:`.delta`).
+* ``delta_scan`` — delta-stepping bucket relaxation, threaded over each
+  scan's edge list with an ordered merge (:mod:`.delta`);
+* ``rrr_sample`` — hash-pinned IC reverse-BFS cascades, threaded over
+  independent sample indices (:mod:`.rrr`);
+* ``counting_sort`` — BOBA-style stable counting sort behind the
+  degree-driven lightweight orderings (:mod:`.counting`).
 """
 
 from __future__ import annotations
 
 from .core import (
+    MAX_THREADS,
     NativeKernel,
     build_info_all,
     cache_dir,
     get_kernel,
     kernel_names,
+    native_threads,
+    set_thread_cap,
+    use_native_threads,
 )
-from . import delta, fm, gorder, lru  # noqa: F401  (register kernels)
+from . import counting, delta, fm, gorder, lru, rrr  # noqa: F401  (register)
 
 __all__ = [
     "NativeKernel",
@@ -35,8 +50,14 @@ __all__ = [
     "cache_dir",
     "get_kernel",
     "kernel_names",
+    "native_threads",
+    "set_thread_cap",
+    "use_native_threads",
+    "MAX_THREADS",
+    "counting",
     "delta",
     "fm",
     "gorder",
     "lru",
+    "rrr",
 ]

@@ -14,6 +14,14 @@ surface:
 * every kernel must name its **scalar and vector twins** — the Python
   implementations it is bit-identical to — which the reprolint contracts
   checker verifies statically;
+* kernels declared ``threaded=True`` are compiled with ``-pthread`` and
+  get the static fork-join worker-pool helper prepended to their source.
+  Threaded kernels additionally name a ``serial_twin`` — the Python
+  dispatch function that drives them — and obey the hard contract that
+  **results are bit-identical regardless of thread count** (the kernel
+  receives the thread count as an argument; sharding must be
+  deterministic by construction).  :func:`native_threads` is the single
+  sanctioned read of ``REPRO_NATIVE_THREADS``;
 * :func:`build_info_all` reports per-kernel status (compiler, cache hit,
   fallback reason) for ``python -m repro.bench --version`` and the perf
   harness, so a silent fallback to pure Python cannot masquerade as a
@@ -21,18 +29,23 @@ surface:
 
 The shared objects live under ``~/.cache/repro-native`` (or
 ``XDG_CACHE_HOME``, or the system temp dir) keyed by a hash of the C
-source, so compilation happens once per machine, not once per process.
+source; a ``.json`` sidecar next to each ``.so`` records the compiler
+that produced it, so ``build_info()`` can report the compiler on
+cache-hit loads too.  Compilation happens once per machine, not once
+per process.
 """
 
 from __future__ import annotations
 
 import ctypes
 import hashlib
+import json
 import os
 import shutil
 import subprocess
 import tempfile
-from typing import Mapping, Sequence
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
 
 __all__ = [
     "NativeKernel",
@@ -40,10 +53,70 @@ __all__ = [
     "kernel_names",
     "build_info_all",
     "cache_dir",
+    "native_threads",
+    "set_thread_cap",
+    "use_native_threads",
+    "MAX_THREADS",
 ]
 
 #: registry of every declared kernel, in declaration order.
 _KERNELS: dict[str, "NativeKernel"] = {}
+
+#: hard upper bound on worker threads (matches REPRO_MAX_THREADS in the
+#: C helper; the fork-join arrays are statically sized).
+MAX_THREADS = 64
+
+#: process-wide cap installed by pool workers (cores // jobs) so cell
+#: parallelism and kernel parallelism compose instead of oversubscribing.
+_thread_cap: int | None = None
+
+#: in-process override (perf harness / tests) — wins over the env knob.
+_thread_override: int | None = None
+
+
+def set_thread_cap(cap: int | None) -> None:
+    """Cap the default thread count (``None`` removes the cap).
+
+    Installed by supervised pool workers as ``max(1, cores // jobs)``.
+    An explicit ``REPRO_NATIVE_THREADS`` setting still wins — the cap
+    only bounds the ``os.cpu_count()`` default.
+    """
+    global _thread_cap
+    _thread_cap = None if cap is None else max(1, int(cap))
+
+
+@contextmanager
+def use_native_threads(count: int) -> Iterator[None]:
+    """Force the kernel thread count within a block (harness/tests)."""
+    global _thread_override
+    prev = _thread_override
+    _thread_override = max(1, min(MAX_THREADS, int(count)))
+    try:
+        yield
+    finally:
+        _thread_override = prev
+
+
+def native_threads() -> int:
+    """Worker threads for the next threaded-kernel invocation.
+
+    Resolution order: :func:`use_native_threads` override, then the
+    ``REPRO_NATIVE_THREADS`` environment knob, then ``os.cpu_count()``
+    bounded by any :func:`set_thread_cap` cap.  ``=1`` forces the serial
+    path inside the kernel; the result is bit-identical either way.
+    """
+    if _thread_override is not None:
+        return _thread_override
+    env = os.environ.get("REPRO_NATIVE_THREADS")
+    if env:
+        try:
+            return max(1, min(MAX_THREADS, int(env)))
+        except ValueError:
+            pass  # fall through to the default on a malformed knob
+    count = os.cpu_count() or 1
+    if _thread_cap is not None:
+        count = min(count, _thread_cap)
+    return max(1, min(MAX_THREADS, count))
 
 
 def cache_dir() -> str:
@@ -65,6 +138,79 @@ def _compiler() -> str | None:
     return None
 
 
+#: Static fork-join helper prepended to every ``threaded=True`` kernel
+#: source.  The calling thread runs shard 0; a failed pthread_create
+#: degrades to running that shard inline, which is safe because shards
+#: are deterministic functions of (tid, nthreads) — never of which OS
+#: thread executes them.
+THREAD_POOL_HELPER = r"""
+#include <pthread.h>
+#include <stdint.h>
+
+enum { REPRO_MAX_THREADS = 64 };
+
+typedef void (*repro_task_fn)(void *arg, int64_t tid, int64_t nthreads);
+
+typedef struct {
+    repro_task_fn fn;
+    void *arg;
+    int64_t tid;
+    int64_t nthreads;
+} repro_task;
+
+static void *repro_task_trampoline(void *p)
+{
+    repro_task *t = (repro_task *)p;
+    t->fn(t->arg, t->tid, t->nthreads);
+    return NULL;
+}
+
+/* Run fn(arg, tid, nthreads) across nthreads shards and join.  The
+ * caller's thread runs shard 0; nthreads <= 1 runs serially inline. */
+static void repro_parallel_for(repro_task_fn fn, void *arg,
+                               int64_t nthreads)
+{
+    if (nthreads > REPRO_MAX_THREADS)
+        nthreads = REPRO_MAX_THREADS;
+    if (nthreads <= 1) {
+        fn(arg, 0, 1);
+        return;
+    }
+    pthread_t threads[REPRO_MAX_THREADS];
+    repro_task tasks[REPRO_MAX_THREADS];
+    unsigned char started[REPRO_MAX_THREADS];
+    for (int64_t t = 1; t < nthreads; t++) {
+        tasks[t].fn = fn;
+        tasks[t].arg = arg;
+        tasks[t].tid = t;
+        tasks[t].nthreads = nthreads;
+        started[t] = pthread_create(&threads[t], NULL,
+                                    repro_task_trampoline,
+                                    &tasks[t]) == 0;
+    }
+    fn(arg, 0, nthreads);
+    for (int64_t t = 1; t < nthreads; t++) {
+        if (started[t])
+            pthread_join(threads[t], NULL);
+        else
+            fn(arg, t, nthreads);
+    }
+}
+
+/* Contiguous shard [lo, hi) of `count` items for thread `tid` — the one
+ * sharding formula every threaded kernel uses, mirrored in Python when
+ * a wrapper needs to decode per-shard output regions. */
+static void repro_shard(int64_t count, int64_t tid, int64_t nthreads,
+                        int64_t *lo, int64_t *hi)
+{
+    int64_t base = count / nthreads;
+    int64_t extra = count % nthreads;
+    *lo = tid * base + (tid < extra ? tid : extra);
+    *hi = *lo + base + (tid < extra ? 1 : 0);
+}
+"""
+
+
 class NativeKernel:
     """One lazily compiled C kernel with declared Python twins.
 
@@ -82,6 +228,15 @@ class NativeKernel:
         truth and the numpy middle tier this kernel is bit-identical to.
         The contracts checker (:mod:`repro.analysis.contracts`) resolves
         both statically, so a kernel cannot ship without its fallbacks.
+    threaded:
+        Compile with ``-pthread`` and prepend the static worker-pool
+        helper.  The kernel takes its thread count as an argument and
+        must produce bit-identical results for every value.
+    serial_twin:
+        Required when ``threaded=True``: ``"module:function"`` naming the
+        Python dispatch function that drives the kernel (and therefore
+        its ``nthreads=1`` serial path).  Checked statically by the same
+        contracts pass as the other twins.
     """
 
     def __init__(
@@ -92,14 +247,24 @@ class NativeKernel:
         symbols: Mapping[str, tuple[Sequence[object], object]],
         scalar_twin: str,
         vector_twin: str,
+        threaded: bool = False,
+        serial_twin: str | None = None,
     ) -> None:
         if name in _KERNELS:
             raise ValueError(f"native kernel {name!r} already registered")
+        if threaded and not serial_twin:
+            raise ValueError(
+                f"threaded kernel {name!r} must declare its serial_twin"
+            )
         self.name = name
-        self.source = source
+        self.source = (
+            THREAD_POOL_HELPER + source if threaded else source
+        )
         self.symbols = dict(symbols)
         self.scalar_twin = scalar_twin
         self.vector_twin = vector_twin
+        self.threaded = threaded
+        self.serial_twin = serial_twin
         self._lib: ctypes.CDLL | None = None
         self._tried = False
         self._status = "not built"
@@ -118,26 +283,48 @@ class NativeKernel:
             cache_dir(), f"{self.name}_{self.source_digest}.so"
         )
 
+    def _meta_path(self) -> str:
+        return self._so_path() + ".json"
+
+    def _load_cached_compiler(self) -> str | None:
+        """Compiler recorded by the build that produced the cached .so."""
+        try:
+            with open(self._meta_path()) as f:
+                value = json.load(f).get("compiler")
+            return value if isinstance(value, str) else None
+        except (OSError, ValueError):
+            return None
+
     def _build(self) -> ctypes.CDLL:
         """Compile (or reuse) the kernel and load it with prototypes."""
         so_path = self._so_path()
         self._cache_hit = os.path.exists(so_path)
-        if not self._cache_hit:
+        if self._cache_hit:
+            self._compiler_used = self._load_cached_compiler()
+        else:
             cc = _compiler()
             if cc is None:
                 raise RuntimeError("no C compiler found")
             self._compiler_used = cc
+            flags = ["-O3", "-fPIC", "-shared"]
+            if self.threaded:
+                flags.append("-pthread")
             with tempfile.TemporaryDirectory() as tmp:
                 c_path = os.path.join(tmp, f"{self.name}.c")
                 with open(c_path, "w") as f:
                     f.write(self.source)
                 tmp_so = os.path.join(tmp, f"{self.name}.so")
                 subprocess.run(
-                    [cc, "-O3", "-fPIC", "-shared", "-o", tmp_so, c_path],
+                    [cc, *flags, "-o", tmp_so, c_path],
                     check=True,
                     capture_output=True,
                 )
-                # atomic publish so concurrent builders cannot race
+                tmp_meta = os.path.join(tmp, f"{self.name}.json")
+                with open(tmp_meta, "w") as f:
+                    json.dump({"compiler": cc}, f)
+                # atomic publish so concurrent builders cannot race;
+                # sidecar first so a visible .so always has its metadata
+                os.replace(tmp_meta, self._meta_path())
                 os.replace(tmp_so, so_path)
         lib = ctypes.CDLL(so_path)
         for symbol, (argtypes, restype) in self.symbols.items():
@@ -185,6 +372,8 @@ class NativeKernel:
             "source_digest": self.source_digest,
             "scalar_twin": self.scalar_twin,
             "vector_twin": self.vector_twin,
+            "threaded": self.threaded,
+            "serial_twin": self.serial_twin,
         }
 
 

@@ -37,7 +37,10 @@ test.  Five contracts, each reported as a :class:`~.core.Finding`:
     methods) defined in the tree.  The C tier is the top of a
     three-tier tower — a kernel whose reference twins have drifted or
     vanished can no longer be bit-identity tested, which is the only
-    thing that licenses running it.
+    thing that licenses running it.  Thread-parallel kernels
+    (``threaded=True``) must additionally name a resolvable
+    ``serial_twin``: the single-thread entry point that anchors the
+    bit-identical-for-every-thread-count contract.
 """
 
 from __future__ import annotations
@@ -613,6 +616,12 @@ def check_native_twins(index: dict[str, ModuleInfo]) -> list[Finding]:
     anchors: the equivalence suite imports them by these names.  The
     contract requires literal ``"module:qualname"`` strings pointing at
     a function (or ``Class.method``) defined in the indexed tree.
+
+    Thread-parallel kernels (``threaded=True``) additionally must name
+    a resolvable ``serial_twin`` — the single-thread entry point the
+    thread-invariance tests pin every ``REPRO_NATIVE_THREADS`` value
+    against.  The constructor enforces this at runtime; the contract
+    catches it before anything imports.
     """
 
     def resolves(target: str) -> str | None:
@@ -693,6 +702,49 @@ def check_native_twins(index: dict[str, ModuleInfo]) -> list[Finding]:
                             f"{error}",
                         )
                     )
+            threaded = keywords.get("threaded")
+            is_threaded = (
+                isinstance(threaded, ast.Constant)
+                and threaded.value is True
+            )
+            serial = keywords.get("serial_twin")
+            if is_threaded and serial is None:
+                findings.append(
+                    Finding(
+                        "native-twin", rel, node.lineno,
+                        node.col_offset,
+                        f"threaded NativeKernel in {info.module} "
+                        f"declares no serial_twin= keyword; every "
+                        f"thread-parallel kernel must name the "
+                        f"single-thread entry point its invariance "
+                        f"tests pin",
+                    )
+                )
+            elif serial is not None:
+                if not (
+                    isinstance(serial, ast.Constant)
+                    and isinstance(serial.value, str)
+                ):
+                    findings.append(
+                        Finding(
+                            "native-twin", rel, serial.lineno,
+                            serial.col_offset,
+                            f"NativeKernel serial_twin in "
+                            f"{info.module} must be a literal "
+                            f"'module:qualname' string",
+                        )
+                    )
+                else:
+                    error = resolves(serial.value)
+                    if error is not None:
+                        findings.append(
+                            Finding(
+                                "native-twin", rel, serial.lineno,
+                                serial.col_offset,
+                                f"NativeKernel serial_twin "
+                                f"{serial.value!r} {error}",
+                            )
+                        )
     return findings
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import sanitize
-from ..engine import gather_neighbors, gather_ranges
+from ..engine import gather_neighbors, gather_ranges, resolve_engine
 from ..graph.csr import CSRGraph
 
 __all__ = [
@@ -169,6 +169,37 @@ def _pinned_batch_cell(cell: tuple) -> list:
     )
 
 
+def _sample_rrr_native(
+    graph: CSRGraph,
+    probability: float,
+    roots: np.ndarray,
+    original_of: np.ndarray,
+    sample_indices: np.ndarray,
+    seed: int,
+) -> list | None:
+    """Draw all cascades through the threaded ``rrr_sample`` C kernel.
+
+    The serial twin of the kernel: this is the dispatch the native tier
+    runs, and with one worker thread it is the kernel's serial path.
+    Returns None when the kernel is unavailable (no compiler,
+    ``REPRO_NO_NATIVE=1``) so the caller falls through to the batched
+    numpy sampler; otherwise the returned ``RRRSet`` list is
+    bit-identical to both Python engines for every thread count.
+    """
+    from .._native import rrr as native_rrr
+    from .influence_max import RRRSet
+
+    pairs = native_rrr.run(
+        graph, probability, roots, original_of, sample_indices, seed
+    )
+    if pairs is None:
+        return None
+    return [
+        RRRSet(root=int(root), vertices=vertices, edges_examined=edges)
+        for root, (vertices, edges) in zip(roots.tolist(), pairs)
+    ]
+
+
 def sample_rrr_ic_pinned_batch(
     graph: CSRGraph,
     probability: float,
@@ -186,10 +217,12 @@ def sample_rrr_ic_pinned_batch(
     :func:`repro.apps.influence_max.sample_rrr_ic_pinned` once per pair
     (same vertex discovery order, same ``edges_examined``), but sampled
     ``batch_size`` cascades at a time over an epoch-stamped visited
-    array.  With ``jobs > 1`` the pair list is split into contiguous
-    chunks fanned out through :func:`repro.bench.pool.map_cells`;
-    determinism per sample index makes the parallel result identical to
-    the sequential one.
+    array.  Under the native tier the whole draw goes through the
+    threaded ``rrr_sample`` C kernel (:func:`_sample_rrr_native`),
+    falling back here when it is unavailable.  With ``jobs > 1`` the
+    pair list is split into contiguous chunks fanned out through
+    :func:`repro.bench.pool.map_cells`; determinism per sample index
+    makes the parallel result identical to the sequential one.
     """
     sanitize.check_integral(roots, where="sample_rrr_ic_pinned_batch(roots)")
     sanitize.check_integral(
@@ -218,6 +251,13 @@ def sample_rrr_ic_pinned_batch(
         ]
         parts = map_cells(_pinned_batch_cell, cells, jobs=width)
         return [rrr for part in parts for rrr in part]
+
+    if resolve_engine() == "native":
+        native_sets = _sample_rrr_native(
+            graph, probability, roots, original_of, sample_indices, seed
+        )
+        if native_sets is not None:
+            return native_sets
 
     n = graph.num_vertices
     block = min(batch_size, total)

@@ -19,6 +19,14 @@ selection, bucketed-array delta-stepping, and the Louvain sweep cost
 model — verifies every vector result is bit-identical to its scalar
 reference, and writes ``BENCH_apps.json``.
 
+**Threads stage** (``--threads``) times the thread-parallel native
+kernels (LRU replay, RRR sampling, delta-stepping, the counting-sort
+ordering path) at 1/2/4/8 ``REPRO_NATIVE_THREADS``, verifies every
+thread count produces the bit-identical result, and writes
+``BENCH_threads.json``.  The 4-thread speedup floors only apply when
+the host actually has four cores (the recorded ``cpu_count``); the
+identity checks always apply.
+
 * ``--write`` measures and (re)writes the stage's JSON file;
 * ``--check`` measures and fails (exit 1) if bit-identity broke or a
   speedup fell below its floor (``--min-speedup`` for replay and the
@@ -37,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -59,7 +68,7 @@ from ..apps.influence_max import (
 from ..apps.kernels import _sweep_items
 from ..datasets.registry import load
 from ..engine import strip_engine_metadata, use_engine
-from .._native import build_info_all
+from .._native import build_info_all, native_threads, use_native_threads
 from ..measures.gaps import gap_measures
 from ..ordering import PAPER_SCHEMES
 from ..ordering.base import Ordering, get_scheme
@@ -79,6 +88,8 @@ __all__ = [
     "check_orderings",
     "measure_apps",
     "check_apps",
+    "measure_threads",
+    "check_threads",
     "main",
     "SCHEMA_VERSION",
     "STAGES",
@@ -90,6 +101,10 @@ __all__ = [
     "APPS_PATH",
     "APPS_FLOORS",
     "APPS_AGGREGATE_FLOOR",
+    "THREADS_PATH",
+    "THREAD_COUNTS",
+    "THREAD_KERNELS",
+    "THREAD_SCALING_FLOOR",
     "NATIVE_ORDERING_SCHEMES",
     "NATIVE_ORDERING_FLOORS",
     "ND_NATIVE_WALL_CEILING_S",
@@ -110,6 +125,7 @@ STAGES = {
     "replay": {"flag": None, "floor": "DEFAULT_MIN_SPEEDUP"},
     "orderings": {"flag": "--orderings", "floor": "ORDERING_AGGREGATE_FLOOR"},
     "apps": {"flag": "--apps", "floor": "APPS_AGGREGATE_FLOOR"},
+    "threads": {"flag": "--threads", "floor": "THREAD_SCALING_FLOOR"},
 }
 
 #: committed location: repository root, next to ROADMAP.md.
@@ -167,6 +183,10 @@ NATIVE_ORDERING_SCHEMES: dict[str, str] = {
     "gorder": "gorder_greedy",
     "metis": "partition_fm",
     "nested_dissection": "partition_fm",
+    "degree_sort": "counting_sort",
+    "hub_sort": "counting_sort",
+    "hub_cluster": "counting_sort",
+    "dbg": "counting_sort",
 }
 
 #: native/scalar speedup floors, enforced only when the kernel actually
@@ -185,7 +205,40 @@ ND_NATIVE_WALL_CEILING_S = 0.5
 #: only when the kernel compiled.
 APPS_NATIVE_FLOORS: dict[str, float] = {
     "delta_stepping": 5.0,
+    "rrr_sampling": 5.0,
 }
+
+#: app workloads with a native tier, mapped to the kernel they escalate
+#: through (availability-gates the APPS_NATIVE_FLOORS checks).
+APPS_NATIVE_KERNELS: dict[str, str] = {
+    "delta_stepping": "delta_scan",
+    "rrr_sampling": "rrr_sample",
+}
+
+#: committed thread-scaling results, next to the other BENCH files.
+THREADS_PATH = Path(__file__).resolve().parents[3] / "BENCH_threads.json"
+
+#: REPRO_NATIVE_THREADS values the threads stage walks.
+THREAD_COUNTS = (1, 2, 4, 8)
+
+#: thread-stage workloads mapped to the threaded kernel they exercise;
+#: floors only apply when that kernel actually compiled.
+THREAD_KERNELS: dict[str, str] = {
+    "lru_replay": "lru_replay",
+    "rrr_sampling": "rrr_sample",
+    "delta_stepping": "delta_scan",
+    "counting_sort": "counting_sort",
+}
+
+#: workloads whose 4-thread speedup the threads stage floors.  The
+#: delta-stepping parallel path only engages on scans past its edge
+#: threshold (rare on the surrogates) and counting sort is bandwidth
+#: bound, so only the embarrassingly parallel pair carries a floor.
+THREAD_FLOOR_WORKLOADS = ("lru_replay", "rrr_sampling")
+
+#: 4-thread over 1-thread wall-clock floor for the floored workloads,
+#: enforced only on hosts with at least four cores.
+THREAD_SCALING_FLOOR = 2.0
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -258,6 +311,8 @@ def measure(
         "schema_version": SCHEMA_VERSION,
         "dataset": dataset,
         "num_threads": num_threads,
+        "threads": native_threads(),
+        "cpu_count": os.cpu_count(),
         "num_accesses": num_accesses,
         "native_kernels": build_info_all(),
         "timings_s": {k: round(v, 6) for k, v in timings.items()},
@@ -372,6 +427,8 @@ def measure_orderings(
     return {
         "schema_version": SCHEMA_VERSION,
         "dataset": dataset,
+        "threads": native_threads(),
+        "cpu_count": os.cpu_count(),
         "native_kernels": build_info_all(),
         "schemes": per_scheme,
         "aggregate": {
@@ -517,16 +574,32 @@ def measure_apps(
         ],
         repeats,
     )
-    t_vec, vector_sets = _best_of(
-        lambda: sample_rrr_ic_pinned_batch(
-            graph, probability, roots, original_of,
-            sample_indices, seed, jobs=jobs,
-        ),
-        repeats,
-    )
+    with use_engine("vector"):
+        t_vec, vector_sets = _best_of(
+            lambda: sample_rrr_ic_pinned_batch(
+                graph, probability, roots, original_of,
+                sample_indices, seed, jobs=jobs,
+            ),
+            repeats,
+        )
     record(
         "rrr_sampling", t_vec, vector_sets, t_sca, scalar_sets,
         _rrr_identical(scalar_sets, vector_sets),
+    )
+    with use_engine("native"):
+        t_nat, native_sets = _best_of(
+            lambda: sample_rrr_ic_pinned_batch(
+                graph, probability, roots, original_of,
+                sample_indices, seed, jobs=jobs,
+            ),
+            repeats,
+        )
+    workloads["rrr_sampling"].update(
+        native_s=round(t_nat, 6),
+        native_speedup=round(
+            t_sca / t_nat if t_nat > 0 else float("inf"), 3
+        ),
+        native_identical=_rrr_identical(scalar_sets, native_sets),
     )
 
     t_sca, g_sca = _best_of(
@@ -590,6 +663,8 @@ def measure_apps(
         "probability": probability,
         "k": k,
         "jobs": jobs,
+        "threads": native_threads(),
+        "cpu_count": os.cpu_count(),
         "native_kernels": build_info_all(),
         "workloads": workloads,
         "aggregate": {
@@ -636,16 +711,146 @@ def check_apps(
                     f"{name}: speedup {entry['speedup']:.2f}x fell "
                     f"below its {floor:.1f}x floor"
                 )
-        if _kernel_available(result, "delta_scan"):
-            floor = APPS_NATIVE_FLOORS["delta_stepping"]
-            native_speedup = result["workloads"]["delta_stepping"].get(
+        for name, kernel in APPS_NATIVE_KERNELS.items():
+            if not _kernel_available(result, kernel):
+                continue
+            floor = APPS_NATIVE_FLOORS.get(name)
+            if floor is None or name not in result["workloads"]:
+                continue
+            native_speedup = result["workloads"][name].get(
                 "native_speedup", 0.0
             )
             if native_speedup < floor:
                 failures.append(
-                    f"delta_stepping: native speedup "
+                    f"{name}: native speedup "
                     f"{native_speedup:.2f}x fell below its "
                     f"{floor:.1f}x floor"
+                )
+    return failures
+
+
+def measure_threads(
+    dataset: str = "orkut",
+    *,
+    num_samples: int = 48,
+    probability: float = 0.12,
+    seed: int = 7,
+    repeats: int = 3,
+    thread_counts: tuple[int, ...] = THREAD_COUNTS,
+    num_threads: int = 8,
+) -> dict:
+    """Time the threaded kernels at each ``REPRO_NATIVE_THREADS`` value.
+
+    Four workloads, each run end-to-end through its public entry point
+    (so dispatch and marshalling overhead is charged honestly): the
+    batched LRU replay of the kernel-sweep trace, batched hash-pinned
+    RRR sampling, delta-stepping SSSP, and the Hub Sort ordering whose
+    stable sort runs the counting kernel.  Every thread count must
+    reproduce the single-thread result bit-for-bit — that contract is
+    checked here and enforced unconditionally by :func:`check_threads`;
+    the speedup floors additionally require a multi-core host.
+    """
+    graph = load(dataset)
+    n = graph.num_vertices
+    items = _sweep_items(graph)
+    schedule = static_block_schedule(len(items), num_threads)
+    per_thread = [[items[i] for i in idx] for idx in schedule]
+    machine = SimulatedMachine(num_threads)
+    original_of = np.arange(n, dtype=np.int64)
+    roots = np.random.default_rng(seed).integers(
+        n, size=num_samples
+    ).astype(np.int64)
+    sample_indices = np.arange(num_samples, dtype=np.int64)
+    hub_sort = get_scheme("hub_sort")
+
+    workload_fns: dict[str, tuple[Callable[[], object], Callable]] = {
+        "lru_replay": (
+            lambda: machine.run(per_thread),
+            _replay_identical,
+        ),
+        "rrr_sampling": (
+            lambda: sample_rrr_ic_pinned_batch(
+                graph, probability, roots, original_of,
+                sample_indices, seed,
+            ),
+            _rrr_identical,
+        ),
+        "delta_stepping": (
+            lambda: delta_stepping(graph, 0, engine="native"),
+            lambda a, b: bool(np.array_equal(a[0], b[0]))
+            and _items_identical(a[1], b[1]),
+        ),
+        "counting_sort": (
+            lambda: hub_sort.order(graph),
+            _orderings_identical,
+        ),
+    }
+
+    workloads: dict[str, dict] = {}
+    for name, (fn, same) in workload_fns.items():
+        walls: dict[str, float] = {}
+        baseline: object = None
+        identical = True
+        for count in thread_counts:
+            with use_engine("native"), use_native_threads(count):
+                wall, value = _best_of(fn, repeats)
+            walls[str(count)] = round(wall, 6)
+            if baseline is None:
+                baseline = value
+            else:
+                identical = identical and bool(same(baseline, value))
+        wall_1 = walls[str(thread_counts[0])]
+        wall_4 = walls.get("4")
+        workloads[name] = {
+            "wall_s": walls,
+            "identical": identical,
+            "speedup_4t": (
+                round(wall_1 / wall_4, 3) if wall_4 else None
+            ),
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "dataset": dataset,
+        "cpu_count": os.cpu_count(),
+        "thread_counts": list(thread_counts),
+        "native_kernels": build_info_all(),
+        "workloads": workloads,
+    }
+
+
+def check_threads(
+    result: dict,
+    *,
+    min_speedup: float | None = THREAD_SCALING_FLOOR,
+) -> list[str]:
+    """Regression failures in a threads measurement (empty = pass).
+
+    Bit-identity across thread counts is enforced unconditionally.
+    The 4-thread speedup floors additionally require ``min_speedup``
+    (None under ``--quick``), at least four recorded cores, and the
+    workload's kernel to have compiled — a single-core host cannot
+    scale and an absent kernel ran the vector fallback.
+    """
+    failures: list[str] = []
+    for name, entry in result["workloads"].items():
+        if not entry["identical"]:
+            failures.append(
+                f"{name}: result diverged across native thread counts"
+            )
+    cores = result.get("cpu_count") or 1
+    if min_speedup is not None and cores >= 4:
+        for name in THREAD_FLOOR_WORKLOADS:
+            entry = result["workloads"].get(name)
+            if entry is None:
+                continue
+            if not _kernel_available(result, THREAD_KERNELS[name]):
+                continue
+            speedup = entry.get("speedup_4t") or 0.0
+            if speedup < min_speedup:
+                failures.append(
+                    f"{name}: 4-thread speedup {speedup:.2f}x fell "
+                    f"below the {min_speedup:.1f}x floor"
                 )
     return failures
 
@@ -718,8 +923,14 @@ def main(argv: list[str] | None = None) -> int:
              "trace replay",
     )
     parser.add_argument(
+        "--threads", action="store_true",
+        help="run the thread-scaling stage (threaded kernels at "
+             "1/2/4/8 native threads, bit-identity across counts) "
+             "instead of trace replay",
+    )
+    parser.add_argument(
         "--num-samples", type=int, default=48, metavar="S",
-        help="apps stage only: RRR samples to draw (default: 48)",
+        help="apps/threads stages: RRR samples to draw (default: 48)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="J",
@@ -762,7 +973,7 @@ def main(argv: list[str] | None = None) -> int:
     dataset = "livemocha" if args.quick else args.dataset
     repeats = 1 if args.quick else args.repeats
     stage = "orderings" if args.orderings else (
-        "apps" if args.apps else "replay"
+        "apps" if args.apps else ("threads" if args.threads else "replay")
     )
     journal = RunJournal(args.run_id) if args.run_id else None
     stage_key = cell_key(
@@ -792,6 +1003,12 @@ def main(argv: list[str] | None = None) -> int:
                 repeats=repeats,
                 jobs=args.jobs,
             )
+        elif args.threads:
+            result = measure_threads(
+                dataset,
+                num_samples=16 if args.quick else args.num_samples,
+                repeats=repeats,
+            )
         else:
             result = measure(dataset, repeats=repeats)
         if journal is not None:
@@ -809,6 +1026,8 @@ def main(argv: list[str] | None = None) -> int:
             output = ORDERING_PATH
         elif args.apps and output == DEFAULT_PATH:
             output = APPS_PATH
+        elif args.threads and output == DEFAULT_PATH:
+            output = THREADS_PATH
         output.write_text(json.dumps(result, indent=2) + "\n")
         print(f"[wrote {output}]")
     if args.check or not args.write:
@@ -818,6 +1037,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.apps:
             floor = None if args.quick else APPS_AGGREGATE_FLOOR
             failures = check_apps(result, min_aggregate=floor)
+        elif args.threads:
+            floor = None if args.quick else THREAD_SCALING_FLOOR
+            failures = check_threads(result, min_speedup=floor)
         else:
             floor = None if args.quick else args.min_speedup
             failures = check(result, min_speedup=floor)

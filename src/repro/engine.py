@@ -46,6 +46,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "VECTOR_MIN_WORK",
     "ENGINE_METADATA_KEY",
+    "THREADS_METADATA_KEY",
     "resolve_engine",
     "engine_for_work",
     "use_engine",
@@ -63,6 +64,12 @@ VECTOR_MIN_WORK = 16384
 
 #: ordering-metadata key recording the tier that actually ran.
 ENGINE_METADATA_KEY = "engine"
+
+#: ordering-metadata key recording the native thread count that ran a
+#: threaded kernel.  Like the engine key, it is provenance only — results
+#: are bit-identical for every thread count — so identity comparisons
+#: strip it alongside :data:`ENGINE_METADATA_KEY`.
+THREADS_METADATA_KEY = "threads"
 
 #: context override installed by :func:`use_engine` (None = no override).
 _override: str | None = None
@@ -127,12 +134,15 @@ def strip_engine_metadata(metadata: dict) -> dict:
     """``metadata`` without the recorded execution tier.
 
     Orderings are bit-identical across tiers *except* for the
-    :data:`ENGINE_METADATA_KEY` entry recording which tier ran; identity
-    comparisons (equivalence tests, the perf harness, warm-cache checks)
-    compare through this helper.
+    :data:`ENGINE_METADATA_KEY` entry recording which tier ran (and, for
+    threaded kernels, the :data:`THREADS_METADATA_KEY` thread count);
+    identity comparisons (equivalence tests, the perf harness, warm-cache
+    checks) compare through this helper.
     """
     return {
-        k: v for k, v in metadata.items() if k != ENGINE_METADATA_KEY
+        k: v
+        for k, v in metadata.items()
+        if k not in (ENGINE_METADATA_KEY, THREADS_METADATA_KEY)
     }
 
 

@@ -11,12 +11,21 @@ Three lightweight schemes that use only degree information:
 
 These schemes do not optimise any gap measure; they aim at spatial locality
 among frequently accessed hubs.
+
+Every scheme here reduces to one primitive — a *stable* sort of the
+vertex ids by a small non-negative integer key — so all four share the
+:func:`_stable_key_order` dispatcher.  The scalar and vector tiers are
+numpy's stable argsort; the native tier is the BOBA-style parallel
+counting sort (:mod:`repro._native.counting`), bit-identical to the
+argsort for every ``REPRO_NATIVE_THREADS`` value.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .._native.core import native_threads
+from ..engine import ENGINE_METADATA_KEY, THREADS_METADATA_KEY, resolve_engine
 from ..graph.csr import CSRGraph
 from ..graph.permute import ordering_from_sequence
 from .base import OperationCounter, OrderingScheme
@@ -39,6 +48,47 @@ def average_degree_cutoff(graph: CSRGraph) -> float:
     if graph.num_vertices == 0:
         return 0.0
     return graph.num_directed_edges / graph.num_vertices
+
+
+def _stable_key_order_scalar(key: np.ndarray) -> np.ndarray:
+    """Stable argsort of ``key`` — the schemes' ground truth."""
+    return np.argsort(key, kind="stable")
+
+
+def _stable_key_order_vector(key: np.ndarray) -> np.ndarray:
+    """Vector twin: numpy's stable argsort is already the batched form."""
+    return np.argsort(key, kind="stable")
+
+
+def _stable_key_order_native(
+    key: np.ndarray, num_buckets: int
+) -> np.ndarray | None:
+    """Parallel counting-sort tier; ``None`` when the kernel bows out."""
+    from .._native import counting
+
+    return counting.run(key, num_buckets)
+
+
+def _stable_key_order(
+    key: np.ndarray, num_buckets: int, metadata: dict
+) -> np.ndarray:
+    """Stable argsort of small-integer ``key`` through the engine tower.
+
+    ``key`` must be int64 in ``[0, num_buckets)``.  When the native
+    counting-sort kernel actually runs, the tier and thread count are
+    recorded in ``metadata`` (:func:`repro.ordering.base.OrderingScheme.order`
+    fills the engine key for the other tiers).
+    """
+    engine = resolve_engine()
+    if engine == "native":
+        sequence = _stable_key_order_native(key, num_buckets)
+        if sequence is not None:
+            metadata[ENGINE_METADATA_KEY] = "native"
+            metadata[THREADS_METADATA_KEY] = native_threads()
+            return sequence
+    if engine == "scalar":
+        return _stable_key_order_scalar(key)
+    return _stable_key_order_vector(key)
 
 
 class DegreeSort(OrderingScheme):
@@ -71,12 +121,13 @@ class DegreeSort(OrderingScheme):
         degrees = graph.degrees()
         counter.count_vertices(n)
         counter.count_sort(n)
-        key = -degrees if self._descending else degrees
-        # Stable sort: ties keep natural relative order.
-        sequence = np.argsort(key, kind="stable")
-        return ordering_from_sequence(sequence), {
-            "descending": self._descending
-        }
+        max_degree = int(degrees.max()) if n else 0
+        # Bucket key: descending order flips degrees so the stable sort
+        # of the key equals argsort(-degrees); ties keep natural order.
+        key = (max_degree - degrees) if self._descending else degrees
+        metadata: dict = {"descending": self._descending}
+        sequence = _stable_key_order(key, max_degree + 1, metadata)
+        return ordering_from_sequence(sequence), metadata
 
 
 class HubSort(OrderingScheme):
@@ -109,15 +160,19 @@ class HubSort(OrderingScheme):
             else average_degree_cutoff(graph)
         )
         counter.count_vertices(n)
-        hubs = np.flatnonzero(degrees > cutoff)
-        non_hubs = np.flatnonzero(degrees <= cutoff)
-        counter.count_sort(hubs.size)
-        hub_order = hubs[np.argsort(-degrees[hubs], kind="stable")]
-        sequence = np.concatenate((hub_order, non_hubs))
-        return ordering_from_sequence(sequence), {
+        hubs = degrees > cutoff
+        counter.count_sort(int(np.count_nonzero(hubs)))
+        max_degree = int(degrees.max()) if n else 0
+        # Hubs sort by flipped degree (all keys <= max_degree); every
+        # non-hub shares the max_degree+1 bucket, so the stable sort
+        # keeps their natural order after the sorted hubs.
+        key = np.where(hubs, max_degree - degrees, max_degree + 1)
+        metadata: dict = {
             "cutoff": float(cutoff),
-            "num_hubs": int(hubs.size),
+            "num_hubs": int(np.count_nonzero(hubs)),
         }
+        sequence = _stable_key_order(key, max_degree + 2, metadata)
+        return ordering_from_sequence(sequence), metadata
 
 
 class DegreeBasedGrouping(OrderingScheme):
@@ -149,12 +204,12 @@ class DegreeBasedGrouping(OrderingScheme):
         counter.count_vertices(n)
         # group id = floor(log2(degree + 1)); isolated vertices group 0.
         groups = np.floor(np.log2(degrees + 1)).astype(np.int64)
-        # hottest groups first; stable within a group.
-        sequence = np.argsort(-groups, kind="stable")
         num_groups = int(groups.max()) + 1 if n else 0
-        return ordering_from_sequence(sequence), {
-            "num_groups": num_groups,
-        }
+        # hottest groups first; stable within a group.
+        key = (num_groups - 1) - groups
+        metadata: dict = {"num_groups": num_groups}
+        sequence = _stable_key_order(key, num_groups, metadata)
+        return ordering_from_sequence(sequence), metadata
 
 
 class HubCluster(OrderingScheme):
@@ -184,10 +239,12 @@ class HubCluster(OrderingScheme):
             else average_degree_cutoff(graph)
         )
         counter.count_vertices(n)
-        hubs = np.flatnonzero(degrees > cutoff)
-        non_hubs = np.flatnonzero(degrees <= cutoff)
-        sequence = np.concatenate((hubs, non_hubs))
-        return ordering_from_sequence(sequence), {
+        hubs = degrees > cutoff
+        # Two buckets — hubs then non-hubs — each in natural order.
+        key = np.where(hubs, np.int64(0), np.int64(1))
+        metadata: dict = {
             "cutoff": float(cutoff),
-            "num_hubs": int(hubs.size),
+            "num_hubs": int(np.count_nonzero(hubs)),
         }
+        sequence = _stable_key_order(key, 2, metadata)
+        return ordering_from_sequence(sequence), metadata

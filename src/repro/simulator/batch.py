@@ -34,6 +34,7 @@ import ctypes
 import numpy as np
 
 from ..analysis import sanitize
+from .._native import core as native_core
 from . import _native
 from .cache import Cache
 from .hierarchy import MemoryHierarchy, ThreadCounters
@@ -122,6 +123,9 @@ def _replay_native(
     The touched sets' dict state is flattened into LRU→MRU arrays, the C
     kernel replays every group in one call, and the dicts are rebuilt
     from the final state — identical transitions, identical counters.
+    Groups (cache sets) are independent, so the kernel shards them over
+    :func:`repro._native.core.native_threads` worker threads; results
+    are bit-identical for every thread count.
     """
     n = hits.size
     assoc = cache._assoc
@@ -159,6 +163,7 @@ def _replay_native(
             state_len.ctypes.data_as(p_i64),
             miss_out.ctypes.data_as(p_u8),
             ctypes.byref(writebacks),
+            native_core.native_threads(),
         )
     )
     lens = state_len.tolist()

@@ -10,6 +10,7 @@ from repro.analysis.contracts import (
     check_bench_floors,
     check_contracts,
     check_equivalence_coverage,
+    check_native_twins,
     check_scalar_twins,
     check_scheme_classes,
     gated_functions,
@@ -340,6 +341,83 @@ def test_missing_stages_registry_detected(tmp_path):
 
 def test_real_bench_wiring_passes():
     assert check_bench_floors() == []
+
+
+# ----------------------------------------------------------------------
+# Native-twin contract: threaded kernels declare a serial twin
+# ----------------------------------------------------------------------
+NATIVE_TREE_BASE = {
+    "repro/__init__.py": "",
+    "repro/ref.py": """
+        def scalar_k(x):
+            return x
+
+
+        def vector_k(x):
+            return x
+
+
+        def serial_k(x):
+            return x
+        """,
+    "repro/_native/__init__.py": "",
+    "repro/_native/core.py": """
+        class NativeKernel:
+            def __init__(self, *a, **kw):
+                pass
+        """,
+}
+
+
+def _native_tree(tmp_path, kernel_kwargs: str):
+    files = dict(NATIVE_TREE_BASE)
+    files["repro/_native/foo.py"] = f"""
+        from .core import NativeKernel
+
+
+        KERNEL = NativeKernel(
+            "k",
+            "int x;",
+            symbols={{}},
+            scalar_twin="repro.ref:scalar_k",
+            vector_twin="repro.ref:vector_k",
+            {kernel_kwargs}
+        )
+        """
+    src = write_tree(tmp_path, files)
+    return check_native_twins(index_tree(src))
+
+
+def test_threaded_kernel_without_serial_twin_detected(tmp_path):
+    findings = _native_tree(tmp_path, "threaded=True,")
+    assert any(
+        f.rule == "native-twin" and "serial_twin" in f.message
+        for f in findings
+    )
+
+
+def test_threaded_kernel_with_unresolvable_serial_twin_detected(tmp_path):
+    findings = _native_tree(
+        tmp_path,
+        'threaded=True,\n            serial_twin="repro.ref:missing",',
+    )
+    assert any(
+        f.rule == "native-twin" and "serial_twin" in f.message
+        for f in findings
+    )
+
+
+def test_threaded_kernel_with_resolvable_serial_twin_passes(tmp_path):
+    findings = _native_tree(
+        tmp_path,
+        'threaded=True,\n            serial_twin="repro.ref:serial_k",',
+    )
+    assert findings == []
+
+
+def test_unthreaded_kernel_needs_no_serial_twin(tmp_path):
+    findings = _native_tree(tmp_path, "")
+    assert findings == []
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,9 @@ from repro.graph import from_edges
 from repro.ordering import available_schemes, get_scheme
 
 #: schemes with a genuine vector/scalar branch (the rest are trivially
-#: array-based and identical by construction).
+#: array-based and identical by construction).  The degree/hub family
+#: routes its stable key sort through the engine tower (native tier:
+#: the parallel counting-sort kernel).
 GATED_SCHEMES = (
     "rcm",
     "bfs",
@@ -47,6 +49,10 @@ GATED_SCHEMES = (
     "grappolo_rcm",
     "metis",
     "nested_dissection",
+    "degree_sort",
+    "hub_sort",
+    "hub_cluster",
+    "dbg",
 )
 
 GRAPHS = {
@@ -102,6 +108,19 @@ def test_engines_bit_identical_random_shapes(scheme_name, n, edges):
     vector = order_with(scheme_name, graph, "vector")
     scalar = order_with(scheme_name, graph, "scalar")
     assert_same_ordering(vector, scalar)
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ("degree_sort", "hub_sort", "hub_cluster", "dbg")
+)
+def test_degree_orderings_thread_invariant(scheme_name, monkeypatch):
+    """Native counting sort is bit-identical for every thread count."""
+    graph = GRAPHS["random"]
+    scalar = order_with(scheme_name, graph, "scalar")
+    for threads in ("1", "4"):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", threads)
+        tiered = order_with(scheme_name, graph, "native")
+        assert_same_ordering(tiered, scalar)
 
 
 def test_every_registered_scheme_runs_under_all_engines(medium_random):

@@ -7,6 +7,11 @@ driven against its scalar twin over structured and random inputs, the
 ``REPRO_NO_NATIVE`` gate is exercised through ``reset()``, and the
 build-info reporting surface is pinned.
 
+Thread-parallel kernels carry the stronger contract that results are
+bit-identical for **every** ``REPRO_NATIVE_THREADS`` value; the
+invariance tests here pin 1 vs 4 threads (and the no-native fallback)
+byte for byte.
+
 ``make bench-native`` runs this file twice — once with the C tier and
 once under ``REPRO_NO_NATIVE=1`` — so a kernel regression and a
 fallback regression are both loud.
@@ -20,12 +25,23 @@ from hypothesis import strategies as st
 from repro import _native
 from repro._native import core as native_core
 from repro.apps.delta_stepping import delta_stepping
-from repro.engine import use_engine
+from repro.engine import strip_engine_metadata, use_engine
 from repro.graph import from_edges
 from repro.ordering import get_scheme
 from tests.conftest import make_grid, make_two_cliques, random_graph
 
-KERNEL_NAMES = ("lru_replay", "gorder_greedy", "partition_fm", "delta_scan")
+KERNEL_NAMES = (
+    "lru_replay",
+    "gorder_greedy",
+    "partition_fm",
+    "delta_scan",
+    "rrr_sample",
+    "counting_sort",
+)
+
+#: kernels that fan work out over a pthread pool; each must declare a
+#: serial twin and reproduce its single-thread result at any count.
+THREADED_KERNELS = ("lru_replay", "delta_scan", "rrr_sample", "counting_sort")
 
 GRAPHS = {
     "grid": make_grid(7, 6),
@@ -59,10 +75,23 @@ def test_build_info_fields(name):
     assert info["source_digest"]
     for role in ("scalar_twin", "vector_twin"):
         assert ":" in info[role]
+    assert isinstance(info["threaded"], bool)
+    if info["threaded"]:
+        assert ":" in info["serial_twin"]
+    else:
+        assert info["serial_twin"] is None
     if info["available"]:
         assert info["fallback"] is None
     else:
         assert info["fallback"] == info["status"]
+
+
+def test_threaded_kernel_set_is_pinned():
+    threaded = tuple(
+        name for name in KERNEL_NAMES
+        if native_core.get_kernel(name).build_info()["threaded"]
+    )
+    assert threaded == THREADED_KERNELS
 
 
 def test_build_info_all_covers_every_kernel():
@@ -77,8 +106,11 @@ def test_twins_resolve_dynamically():
 
     for name in KERNEL_NAMES:
         info = native_core.get_kernel(name).build_info()
-        for role in ("scalar_twin", "vector_twin"):
-            mod_name, qualname = info[role].split(":")
+        targets = [info["scalar_twin"], info["vector_twin"]]
+        if info["serial_twin"] is not None:
+            targets.append(info["serial_twin"])
+        for target in targets:
+            mod_name, qualname = target.split(":")
             obj = importlib.import_module(mod_name)
             for part in qualname.split("."):
                 obj = getattr(obj, part)
@@ -224,3 +256,223 @@ def test_lru_kernel_matches_python_walk(monkeypatch):
     monkeypatch.setattr(sim_native, "_tried", True)
     without_kernel = run()
     assert np.array_equal(with_kernel, without_kernel)
+
+
+# ---------------------------------------------------------------------------
+# Thread-count resolution (REPRO_NATIVE_THREADS / cap / override)
+# ---------------------------------------------------------------------------
+def test_native_threads_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+    assert native_core.native_threads() >= 1
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+    assert native_core.native_threads() == 3
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "0")
+    assert native_core.native_threads() == 1  # clamped up
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "100000")
+    assert native_core.native_threads() == native_core.MAX_THREADS
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "bogus")
+    assert native_core.native_threads() >= 1  # malformed knob -> default
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "2")
+    with native_core.use_native_threads(5):
+        assert native_core.native_threads() == 5  # override beats env
+
+
+def test_thread_cap_bounds_only_the_default(monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "6")
+    native_core.set_thread_cap(2)
+    try:
+        # an explicit env knob wins over the pool-worker cap...
+        assert native_core.native_threads() == 6
+        # ...but the cpu_count default is bounded by it.
+        monkeypatch.delenv("REPRO_NATIVE_THREADS")
+        assert native_core.native_threads() <= 2
+    finally:
+        native_core.set_thread_cap(None)
+
+
+# ---------------------------------------------------------------------------
+# Thread invariance: bit-identical results at every thread count
+# ---------------------------------------------------------------------------
+def test_lru_replay_thread_invariant(monkeypatch):
+    from repro.simulator import batch as sim_batch
+    from repro.simulator.cache import Cache, CacheConfig
+
+    rng = np.random.default_rng(3)
+    lines = rng.integers(0, 300, size=4000).astype(np.int64)
+    config = CacheConfig(size_bytes=8192, line_bytes=64, associativity=4)
+
+    def run():
+        cache = Cache(config)
+        hits = sim_batch.cache_access_batch(cache, lines)
+        return hits, cache.stats.hits, cache.stats.misses
+
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "1")
+    hits_1, h1, m1 = run()
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "4")
+    hits_4, h4, m4 = run()
+    assert np.array_equal(hits_1, hits_4)
+    assert (h1, m1) == (h4, m4)
+
+
+def test_rrr_sampling_thread_invariant(monkeypatch):
+    from repro.apps.batch import sample_rrr_ic_pinned_batch
+    from repro.apps.influence_max import sample_rrr_ic_pinned
+
+    graph = GRAPHS["random"]
+    n = graph.num_vertices
+    original_of = np.arange(n, dtype=np.int64)
+    num_samples = 24
+    roots = np.random.default_rng(2).integers(
+        n, size=num_samples
+    ).astype(np.int64)
+    sample_indices = np.arange(num_samples, dtype=np.int64)
+
+    def run():
+        with use_engine("native"):
+            return sample_rrr_ic_pinned_batch(
+                graph, 0.3, roots, original_of, sample_indices, 9
+            )
+
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "1")
+    sets_1 = run()
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "4")
+    sets_4 = run()
+    scalar = [
+        sample_rrr_ic_pinned(
+            graph, 0.3, int(roots[i]), original_of,
+            int(sample_indices[i]), 9, engine="scalar",
+        )
+        for i in range(num_samples)
+    ]
+    for a, b, c in zip(sets_1, sets_4, scalar):
+        assert a.root == b.root == c.root
+        assert np.array_equal(a.vertices, b.vertices)
+        assert np.array_equal(a.vertices, c.vertices)
+        assert a.edges_examined == b.edges_examined == c.edges_examined
+
+
+def test_delta_stepping_thread_invariant(monkeypatch):
+    graph = GRAPHS["random"]
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "1")
+    one = delta_stepping(graph, 0, engine="native")
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "4")
+    four = delta_stepping(graph, 0, engine="native")
+    scalar = delta_stepping(graph, 0, engine="scalar")
+    assert_same_sssp(one, four)
+    assert_same_sssp(one, scalar)
+
+
+@pytest.mark.parametrize(
+    "scheme_name", ("degree_sort", "hub_sort", "hub_cluster", "dbg")
+)
+def test_degree_orderings_thread_invariant(scheme_name, monkeypatch):
+    graph = GRAPHS["random"]
+    scalar = order_with(scheme_name, graph, "scalar")
+    for threads in ("1", "4"):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", threads)
+        native = order_with(scheme_name, graph, "native")
+        assert np.array_equal(native.permutation, scalar.permutation)
+        assert native.cost == scalar.cost
+        assert strip_engine_metadata(native.metadata) == (
+            strip_engine_metadata(scalar.metadata)
+        )
+
+
+def test_degree_ordering_no_native_gate(monkeypatch):
+    kernel = native_core.get_kernel("counting_sort")
+    graph = GRAPHS["random"]
+    scalar = order_with("hub_sort", graph, "scalar")
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    kernel.reset()
+    try:
+        gated = order_with("hub_sort", graph, "native")
+    finally:
+        monkeypatch.delenv("REPRO_NO_NATIVE")
+        kernel.reset()
+    assert np.array_equal(gated.permutation, scalar.permutation)
+    assert gated.metadata["engine"] != "native"  # vector fallback ran
+
+
+# ---------------------------------------------------------------------------
+# Counting-sort kernel: direct parity with the stable argsort
+# ---------------------------------------------------------------------------
+@given(
+    keys=st.lists(st.integers(0, 15), min_size=0, max_size=200),
+    threads=st.sampled_from((1, 2, 4, 8)),
+)
+@settings(max_examples=20, deadline=None)
+def test_counting_sort_matches_stable_argsort(keys, threads):
+    from repro._native import counting
+
+    if counting.KERNEL.lib() is None:
+        pytest.skip("counting kernel unavailable")
+    arr = np.asarray(keys, dtype=np.int64)
+    with native_core.use_native_threads(threads):
+        out = counting.run(arr, 16)
+    assert out is not None
+    assert np.array_equal(out, np.argsort(arr, kind="stable"))
+
+
+def test_counting_sort_declines_oversized_buckets():
+    from repro._native import counting
+
+    keys = np.zeros(4, dtype=np.int64)
+    assert counting.run(keys, counting._MAX_BUCKETS + 1) is None
+    assert counting.run(keys, 0) is None
+
+
+# ---------------------------------------------------------------------------
+# Delta-stepping parallel edge relaxation: force the merge path
+# ---------------------------------------------------------------------------
+def test_delta_parallel_merge_matches_serial():
+    """A hub scan over the edge threshold merges to the serial result.
+
+    The surrogate graphs never reach the production ``PAR_MIN_EDGES``
+    threshold, so this test lowers it and drives the sharded
+    collect-then-merge branch directly against the single-thread run on
+    a star-heavy weighted graph.
+    """
+    from repro._native import delta as native_delta
+    from repro.apps.delta_stepping import _build_phases
+
+    if native_delta.KERNEL.lib() is None:
+        pytest.skip("delta kernel unavailable")
+    n = 300
+    edges = [(0, v) for v in range(1, n)]
+    edges += [(v, (v % 37) + 1) for v in range(1, n)]
+    weights = [0.5 + ((u * 7 + v * 3) % 13) / 13.0 for u, v in edges]
+    graph = from_edges(n, edges, weights=weights)
+    delta_width = 0.75
+    light, heavy, _cycles, warr, _ = _build_phases(graph, delta_width)
+    wmax = float(warr.max()) if warr.size else 1.0
+
+    def run(nthreads, par_min_edges):
+        return native_delta.run(
+            light.indptr, light.targets, light.weights,
+            heavy.indptr, heavy.targets, heavy.weights,
+            n=n, source=0, delta=delta_width, max_buckets=64,
+            wmax=wmax, nthreads=nthreads, par_min_edges=par_min_edges,
+        )
+
+    serial = run(1, 2)
+    for nthreads in (2, 4, 8):
+        parallel = run(nthreads, 2)
+        assert parallel is not None and serial is not None
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Build cache: the compiler survives a cache hit via the sidecar
+# ---------------------------------------------------------------------------
+def test_build_info_reports_compiler_on_cache_hit():
+    kernel = native_core.get_kernel("counting_sort")
+    if kernel.lib() is None:
+        pytest.skip("no C toolchain")
+    compiled_with = kernel.build_info()["compiler"]
+    assert compiled_with
+    kernel.reset()
+    assert kernel.lib() is not None
+    info = kernel.build_info()
+    assert info["cache_hit"] is True
+    assert info["compiler"] == compiled_with
