@@ -36,6 +36,7 @@ bench-perf:
 	PYTHONPATH=src python -m repro.bench.perf --orderings --check
 	PYTHONPATH=src python -m repro.bench.perf --apps --check
 	PYTHONPATH=src python -m repro.bench.perf --threads --check
+	PYTHONPATH=src python -m repro.bench.perf --ingest --check
 
 bench-threads:
 	PYTHONPATH=src python -m repro.bench.perf --threads --check

@@ -26,7 +26,9 @@ Kernels:
 * ``rrr_sample`` — hash-pinned IC reverse-BFS cascades, threaded over
   independent sample indices (:mod:`.rrr`);
 * ``counting_sort`` — BOBA-style stable counting sort behind the
-  degree-driven lightweight orderings (:mod:`.counting`).
+  degree-driven lightweight orderings (:mod:`.counting`);
+* ``parse_edges`` — sharded two-pass edge-list byte parser behind
+  :func:`repro.graph.io.read_edge_list` (:mod:`.parse`).
 """
 
 from __future__ import annotations
@@ -42,7 +44,7 @@ from .core import (
     set_thread_cap,
     use_native_threads,
 )
-from . import counting, delta, fm, gorder, lru, rrr  # noqa: F401  (register)
+from . import counting, delta, fm, gorder, lru, parse, rrr  # noqa: F401  (register)
 
 __all__ = [
     "NativeKernel",
@@ -59,5 +61,6 @@ __all__ = [
     "fm",
     "gorder",
     "lru",
+    "parse",
     "rrr",
 ]

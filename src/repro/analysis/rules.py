@@ -53,6 +53,7 @@ SANCTIONED_ENV_MODULES = frozenset(
         "repro.simulator._native",
         "repro._native.core",
         "repro.graph.shm",
+        "repro.graph.store",
         "repro.analysis.sanitize",
         "repro.resilience.faults",
         "repro.resilience.journal",

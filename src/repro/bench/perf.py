@@ -27,6 +27,13 @@ thread count produces the bit-identical result, and writes
 the host actually has four cores (the recorded ``cpu_count``); the
 identity checks always apply.
 
+**Ingest stage** (``--ingest``) times the zero-parse ingestion path:
+edge-list text parsing through the scalar, vector, and native
+(``parse_edges``) tiers, the builder's counting-sort finalisation per
+engine, and a cold-save/warm-load cycle of the mmap-backed graph store
+(:mod:`repro.graph.store`), verifying every path reproduces the scalar
+graph bit for bit, and writes ``BENCH_ingest.json``.
+
 * ``--write`` measures and (re)writes the stage's JSON file;
 * ``--check`` measures and fails (exit 1) if bit-identity broke or a
   speedup fell below its floor (``--min-speedup`` for replay and the
@@ -68,6 +75,9 @@ from ..apps.influence_max import (
 from ..apps.kernels import _sweep_items
 from ..datasets.registry import load
 from ..engine import strip_engine_metadata, use_engine
+from ..graph import io as graph_io
+from ..graph.builder import GraphBuilder
+from ..graph.store import GraphStore
 from .._native import build_info_all, native_threads, use_native_threads
 from ..measures.gaps import gap_measures
 from ..ordering import PAPER_SCHEMES
@@ -90,6 +100,8 @@ __all__ = [
     "check_apps",
     "measure_threads",
     "check_threads",
+    "measure_ingest",
+    "check_ingest",
     "main",
     "SCHEMA_VERSION",
     "STAGES",
@@ -105,6 +117,9 @@ __all__ = [
     "THREAD_COUNTS",
     "THREAD_KERNELS",
     "THREAD_SCALING_FLOOR",
+    "INGEST_PATH",
+    "INGEST_NATIVE_PARSE_FLOOR",
+    "INGEST_STORE_RELOAD_FLOOR",
     "NATIVE_ORDERING_SCHEMES",
     "NATIVE_ORDERING_FLOORS",
     "ND_NATIVE_WALL_CEILING_S",
@@ -126,6 +141,7 @@ STAGES = {
     "orderings": {"flag": "--orderings", "floor": "ORDERING_AGGREGATE_FLOOR"},
     "apps": {"flag": "--apps", "floor": "APPS_AGGREGATE_FLOOR"},
     "threads": {"flag": "--threads", "floor": "THREAD_SCALING_FLOOR"},
+    "ingest": {"flag": "--ingest", "floor": "INGEST_STORE_RELOAD_FLOOR"},
 }
 
 #: committed location: repository root, next to ROADMAP.md.
@@ -239,6 +255,19 @@ THREAD_FLOOR_WORKLOADS = ("lru_replay", "rrr_sampling")
 #: 4-thread over 1-thread wall-clock floor for the floored workloads,
 #: enforced only on hosts with at least four cores.
 THREAD_SCALING_FLOOR = 2.0
+
+#: committed ingest-stage results, next to the other BENCH files.
+INGEST_PATH = Path(__file__).resolve().parents[3] / "BENCH_ingest.json"
+
+#: native/scalar edge-list parse floor, enforced only when the
+#: ``parse_edges`` kernel compiled (otherwise the vector tier runs,
+#: whose speedup is recorded but unfloored — it is allocation bound).
+INGEST_NATIVE_PARSE_FLOOR = 5.0
+
+#: warm mmap store load over scalar text re-parse — the headline
+#: guarantee of the graph store, and conservatively low: attaching
+#: page-aligned arrays does not scale with the text size at all.
+INGEST_STORE_RELOAD_FLOOR = 20.0
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -855,6 +884,178 @@ def check_threads(
     return failures
 
 
+def _graphs_identical(a, b) -> bool:
+    """Bitwise CSR equality (arrays and weight bytes, not allclose)."""
+    return (
+        np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and a.is_weighted == b.is_weighted
+        and (
+            not a.is_weighted
+            or np.array_equal(a.weights, b.weights)
+        )
+    )
+
+
+def measure_ingest(
+    dataset: str = "orkut",
+    *,
+    repeats: int = 3,
+) -> dict:
+    """Time the ingestion path end to end on ``dataset``.
+
+    Three legs, all verified bit-identical against the scalar reader:
+
+    * **parse** — the dataset serialised as edge-list text, re-read
+      through each engine tier (the native leg also sweeps 1/2/4/8
+      threads);
+    * **build** — CSR finalisation from raw edge arrays through each
+      engine (lexsort vs the counting-sort kernel);
+    * **store** — a cold ``.rgr`` save then warm mmap loads, priced
+      against the scalar text re-parse they replace.
+    """
+    graph = load(dataset)
+    timings: dict[str, float] = {}
+    checks: dict[str, bool] = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        text_path = Path(tmp) / "edges.txt"
+        graph_io.write_edge_list(graph, text_path)
+        text_bytes = text_path.stat().st_size
+
+        parsed: dict[str, object] = {}
+        for engine in ("scalar", "vector", "native"):
+            timings[f"parse_{engine}"], parsed[engine] = _best_of(
+                lambda e=engine: graph_io.read_edge_list(
+                    text_path, engine=e
+                ),
+                repeats,
+            )
+        checks["parse_vector_identical"] = _graphs_identical(
+            parsed["scalar"], parsed["vector"]
+        )
+        checks["parse_native_identical"] = _graphs_identical(
+            parsed["scalar"], parsed["native"]
+        )
+        thread_walls: dict[str, float] = {}
+        thread_identical = True
+        for count in THREAD_COUNTS:
+            with use_native_threads(count):
+                wall, value = _best_of(
+                    lambda: graph_io.read_edge_list(
+                        text_path, engine="native"
+                    ),
+                    repeats,
+                )
+            thread_walls[str(count)] = round(wall, 6)
+            thread_identical = thread_identical and _graphs_identical(
+                parsed["scalar"], value
+            )
+        checks["parse_thread_identical"] = thread_identical
+
+        src = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64),
+            np.diff(graph.indptr),
+        )
+        dst = graph.indices.copy()
+        built: dict[str, object] = {}
+        for engine in ("scalar", "vector", "native"):
+            def build_once(e=engine):
+                builder = GraphBuilder(graph.num_vertices)
+                builder.add_edge_array(src, dst)
+                return builder.build(engine=e)
+
+            timings[f"build_{engine}"], built[engine] = _best_of(
+                build_once, repeats
+            )
+        checks["build_vector_identical"] = _graphs_identical(
+            built["scalar"], built["vector"]
+        )
+        checks["build_native_identical"] = _graphs_identical(
+            built["scalar"], built["native"]
+        )
+
+        store = GraphStore(str(Path(tmp) / "graphs"))
+        timings["store_save"], _ = _best_of(
+            lambda: store.save("bench", graph), 1
+        )
+        timings["store_load"], reloaded = _best_of(
+            lambda: store.load("bench"), repeats
+        )
+        checks["store_identical"] = reloaded is not None and (
+            _graphs_identical(graph, reloaded)
+        )
+        verified = store.load("bench", verify=True)
+        checks["store_verified"] = verified is not None and (
+            verified.content_hash() == graph.content_hash()
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "dataset": dataset,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "text_bytes": text_bytes,
+        "threads": native_threads(),
+        "cpu_count": os.cpu_count(),
+        "native_kernels": build_info_all(),
+        "timings_s": {k: round(v, 6) for k, v in timings.items()},
+        "parse_thread_wall_s": thread_walls,
+        "speedup": {
+            "parse_vector": round(
+                timings["parse_scalar"] / timings["parse_vector"]
+                if timings["parse_vector"] > 0 else float("inf"), 3
+            ),
+            "parse_native": round(
+                timings["parse_scalar"] / timings["parse_native"]
+                if timings["parse_native"] > 0 else float("inf"), 3
+            ),
+            "build_native": round(
+                timings["build_scalar"] / timings["build_native"]
+                if timings["build_native"] > 0 else float("inf"), 3
+            ),
+            "store_reload": round(
+                timings["parse_scalar"] / timings["store_load"]
+                if timings["store_load"] > 0 else float("inf"), 3
+            ),
+        },
+        "checks": checks,
+    }
+
+
+def check_ingest(
+    result: dict,
+    *,
+    min_reload: float | None = INGEST_STORE_RELOAD_FLOOR,
+) -> list[str]:
+    """Regression failures in an ingest measurement (empty = pass).
+
+    Bit-identity across tiers, thread counts, and the store round-trip
+    is enforced unconditionally.  The floors (None under ``--quick``)
+    guard the warm-store reload always and the native parse speedup
+    only when the ``parse_edges`` kernel actually compiled.
+    """
+    failures: list[str] = []
+    for name, passed in result["checks"].items():
+        if not passed:
+            failures.append(f"ingest {name.replace('_', ' ')} check failed")
+    if min_reload is not None:
+        reload_speedup = result["speedup"]["store_reload"]
+        if reload_speedup < min_reload:
+            failures.append(
+                f"store reload speedup {reload_speedup:.2f}x fell "
+                f"below the {min_reload:.1f}x floor"
+            )
+        if _kernel_available(result, "parse_edges"):
+            parse_speedup = result["speedup"]["parse_native"]
+            if parse_speedup < INGEST_NATIVE_PARSE_FLOOR:
+                failures.append(
+                    f"native parse speedup {parse_speedup:.2f}x fell "
+                    f"below the {INGEST_NATIVE_PARSE_FLOOR:.1f}x floor"
+                )
+    return failures
+
+
 def native_summary(infos: dict[str, dict] | None = None) -> list[str]:
     """One human-readable status line per native kernel.
 
@@ -929,6 +1130,11 @@ def main(argv: list[str] | None = None) -> int:
              "instead of trace replay",
     )
     parser.add_argument(
+        "--ingest", action="store_true",
+        help="run the ingest stage (parse tiers, counting-sort build, "
+             "mmap store cold/warm cycle) instead of trace replay",
+    )
+    parser.add_argument(
         "--num-samples", type=int, default=48, metavar="S",
         help="apps/threads stages: RRR samples to draw (default: 48)",
     )
@@ -973,7 +1179,11 @@ def main(argv: list[str] | None = None) -> int:
     dataset = "livemocha" if args.quick else args.dataset
     repeats = 1 if args.quick else args.repeats
     stage = "orderings" if args.orderings else (
-        "apps" if args.apps else ("threads" if args.threads else "replay")
+        "apps" if args.apps else (
+            "threads" if args.threads else (
+                "ingest" if args.ingest else "replay"
+            )
+        )
     )
     journal = RunJournal(args.run_id) if args.run_id else None
     stage_key = cell_key(
@@ -1009,6 +1219,8 @@ def main(argv: list[str] | None = None) -> int:
                 num_samples=16 if args.quick else args.num_samples,
                 repeats=repeats,
             )
+        elif args.ingest:
+            result = measure_ingest(dataset, repeats=repeats)
         else:
             result = measure(dataset, repeats=repeats)
         if journal is not None:
@@ -1028,6 +1240,8 @@ def main(argv: list[str] | None = None) -> int:
             output = APPS_PATH
         elif args.threads and output == DEFAULT_PATH:
             output = THREADS_PATH
+        elif args.ingest and output == DEFAULT_PATH:
+            output = INGEST_PATH
         output.write_text(json.dumps(result, indent=2) + "\n")
         print(f"[wrote {output}]")
     if args.check or not args.write:
@@ -1040,6 +1254,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.threads:
             floor = None if args.quick else THREAD_SCALING_FLOOR
             failures = check_threads(result, min_speedup=floor)
+        elif args.ingest:
+            floor = None if args.quick else INGEST_STORE_RELOAD_FLOOR
+            failures = check_ingest(result, min_reload=floor)
         else:
             floor = None if args.quick else args.min_speedup
             failures = check(result, min_speedup=floor)

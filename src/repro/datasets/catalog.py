@@ -29,10 +29,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from ..graph import generators as gen
 from ..graph.csr import CSRGraph
 
-__all__ = ["DatasetSpec", "CATALOG", "SMALL_SET", "LARGE_SET"]
+__all__ = [
+    "DatasetSpec", "CATALOG", "SMALL_SET", "LARGE_SET", "audit_graph",
+]
+
+
+def audit_graph(graph: CSRGraph) -> dict:
+    """Record a hygiene audit in ``graph.meta["dataset_audit"]``.
+
+    KONECT and DIMACS-10 distributions routinely carry duplicate edge
+    lines, self-loops, and trailing isolated vertices; the builder
+    canonicalises them away but the *counts* matter when comparing a
+    surrogate against the paper's published statistics.  The builder's
+    ingest tallies (when the graph came through
+    :class:`~repro.graph.builder.GraphBuilder`) are folded in alongside
+    the post-build isolated-vertex count.
+    """
+    ingest = (graph._meta or {}).get("ingest_audit") or {}
+    audit = {
+        "isolated_vertices": int(np.count_nonzero(graph.degrees() == 0)),
+        "self_loops_dropped": int(ingest.get("self_loops_dropped", 0)),
+        "duplicate_edges_merged": int(
+            ingest.get("duplicate_edges_merged", 0)
+        ),
+    }
+    graph.meta["dataset_audit"] = audit
+    return audit
 
 
 @dataclass(frozen=True)

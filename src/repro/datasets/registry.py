@@ -4,25 +4,42 @@ Surrogate construction is deterministic but not free (Delaunay, planted
 partitions), so built graphs are memoised per process.  Tests and
 benchmarks go through :func:`load` / :func:`load_many`.
 
-Pool workers can skip building entirely: when the parent published a
-dataset's CSR arrays into shared memory (:mod:`repro.graph.shm`) and
-installed the segment meta here via :func:`install_shared_graph`,
-:func:`load` attaches the segment zero-copy instead of calling the
-spec's builder.  A failed attach (segment gone, sharing disabled) falls
-back to building, so sharing is always only an optimisation.
+Loads consult three layers before building:
+
+1. the per-process memo;
+2. shared memory (:mod:`repro.graph.shm`) when the parent published the
+   dataset's CSR arrays and installed the segment meta via
+   :func:`install_shared_graph` — pool workers attach zero-copy;
+3. the persistent graph store (:mod:`repro.graph.store`) — a warm
+   process mmap-attaches the ``.rgr`` entry in milliseconds instead of
+   re-running the generator recipe.
+
+Store entries are content-addressed by :func:`dataset_store_key`, which
+digests the dataset name together with the *source bytes* of the
+generator and catalog modules: editing either recipe invalidates every
+stale entry automatically, so the store can never serve a graph built
+by a previous version of the code.  Every layer is only an
+optimisation — any failure falls back to building, and freshly built
+graphs are audited (:func:`repro.datasets.catalog.audit_graph`) and
+written back to the store.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 from ..graph import shm as graph_shm
+from ..graph import store as graph_store
 from ..graph.csr import CSRGraph
-from .catalog import CATALOG, LARGE_SET, SMALL_SET, DatasetSpec
+from . import catalog as _catalog_module
+from .catalog import CATALOG, LARGE_SET, SMALL_SET, DatasetSpec, audit_graph
 
 __all__ = [
     "load",
     "load_many",
     "install_shared_graph",
     "shared_graph_metas",
+    "dataset_store_key",
     "spec",
     "dataset_names",
     "small_set",
@@ -36,6 +53,9 @@ _graph_cache: dict[str, CSRGraph] = {}
 #: dataset name -> shared-memory segment meta (see repro.graph.shm).
 _shared_metas: dict[str, dict] = {}
 
+#: memoised digest of the recipe sources (computed once per process).
+_recipe_digest: str | None = None
+
 
 def spec(name: str) -> DatasetSpec:
     """The catalog entry for ``name`` (raises ``KeyError`` if unknown)."""
@@ -45,6 +65,32 @@ def spec(name: str) -> DatasetSpec:
         raise KeyError(
             f"unknown dataset {name!r}; available: {sorted(CATALOG)}"
         ) from None
+
+
+def _recipe_source_digest() -> str:
+    """sha256 over the modules whose code determines every surrogate."""
+    global _recipe_digest
+    if _recipe_digest is None:
+        from ..graph import generators as _generators_module
+
+        digest = hashlib.sha256()
+        digest.update(f"rgr{graph_store.FORMAT_VERSION}:".encode())
+        for module in (_generators_module, _catalog_module):
+            with open(module.__file__, "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b":")
+        _recipe_digest = digest.hexdigest()
+    return _recipe_digest
+
+
+def dataset_store_key(name: str) -> str:
+    """The graph-store key for ``name`` (content-addressed by recipe).
+
+    Any edit to the generator or catalog source — or a store format
+    bump — changes the key, so stale entries are never loaded (they age
+    out as unreferenced files rather than being served).
+    """
+    return f"{name}-{_recipe_source_digest()[:16]}"
 
 
 def install_shared_graph(name: str, meta: dict) -> None:
@@ -65,15 +111,31 @@ def shared_graph_metas() -> dict[str, dict]:
     return dict(_shared_metas)
 
 
+def _load_uncached(name: str) -> CSRGraph:
+    """Resolve ``name`` through shm, then the store, then the builder."""
+    meta = _shared_metas.get(name)
+    if meta is not None:
+        graph = graph_shm.attach_graph(meta)
+        if graph is not None:
+            return graph
+    store = graph_store.default_store()
+    key = dataset_store_key(name) if store is not None else ""
+    if store is not None:
+        graph = store.load(key)
+        if graph is not None:
+            return graph
+    graph = spec(name).build()
+    audit_graph(graph)
+    if store is not None:
+        store.save(key, graph)
+    return graph
+
+
 def load(name: str) -> CSRGraph:
-    """Build (or fetch from cache / shared memory) the graph for ``name``."""
+    """Build (or fetch from cache / shared memory / store) ``name``."""
     graph = _graph_cache.get(name)
     if graph is None:
-        meta = _shared_metas.get(name)
-        if meta is not None:
-            graph = graph_shm.attach_graph(meta)
-        if graph is None:
-            graph = spec(name).build()
+        graph = _load_uncached(name)
         _graph_cache[name] = graph
     return graph
 

@@ -11,6 +11,7 @@ from .permute import (
     ordering_from_sequence,
     validate_ordering,
 )
+from .store import GraphStore, read_graph_file, write_graph_file
 from .subgraph import SubgraphView, induced_subgraph
 from .properties import (
     DegreeStatistics,
@@ -49,4 +50,7 @@ __all__ = [
     "graph_summary",
     "SubgraphView",
     "induced_subgraph",
+    "GraphStore",
+    "read_graph_file",
+    "write_graph_file",
 ]

@@ -11,6 +11,22 @@ paper's preprocessing does for KONECT/DIMACS inputs:
 
 Sorting adjacency lists makes neighbourhood intersection (triangle counting,
 Gorder's sibling score) linear and makes graph equality well-defined.
+
+Internally edges accumulate in *chunked numpy buffers*: per-edge
+:meth:`GraphBuilder.add_edge` calls fill a fixed-size head chunk that is
+archived when full, and bulk :meth:`GraphBuilder.add_edge_array` calls
+archive their arrays directly — no Python lists, no ``tolist()`` round
+trips.  :meth:`GraphBuilder.build` finalises with two stable pair sorts
+that are engine-gated (:mod:`repro.engine`): the scalar/vector tiers run
+``np.lexsort`` and the native tier runs two passes of the BOBA-style
+``counting_sort`` kernel (an O(m) LSD radix sort over the vertex-id
+buckets), every tier bit-identical — including the float summation order
+of merged duplicate weights.
+
+The builder also counts what canonicalisation removed (self-loops
+dropped, duplicate edges merged) and records the tallies on the built
+graph's ``meta`` side-channel — the ingest half of the dataset hygiene
+audit (see :func:`repro.datasets.catalog.audit_graph`).
 """
 
 from __future__ import annotations
@@ -19,9 +35,58 @@ from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import engine_for_work
 from .csr import CSRGraph
 
 __all__ = ["GraphBuilder", "from_edges", "empty_graph"]
+
+#: edges per head chunk for the scalar append path.
+_CHUNK = 1 << 15
+
+
+def _pair_order_scalar(major: np.ndarray, minor: np.ndarray) -> np.ndarray:
+    """Ground-truth stable sort of pairs by ``(major, minor)``."""
+    return np.lexsort((minor, major))
+
+
+def _pair_order_vector(major: np.ndarray, minor: np.ndarray) -> np.ndarray:
+    """Vector-tier pair sort (same primitive as the scalar tier)."""
+    return np.lexsort((minor, major))
+
+
+def _pair_order_native(
+    major: np.ndarray, minor: np.ndarray, num_buckets: int
+) -> np.ndarray | None:
+    """Native pair sort: two stable counting-sort passes (LSD radix).
+
+    ``counting_sort`` equals ``np.argsort(key, kind="stable")``, so
+    sorting by ``minor`` then stably by ``major`` composes to exactly
+    ``np.lexsort((minor, major))``.  Returns ``None`` on kernel
+    fallback (no compiler, too many buckets).
+    """
+    from .._native import counting
+
+    inner = counting.run(np.ascontiguousarray(minor), num_buckets)
+    if inner is None:
+        return None
+    outer = counting.run(np.ascontiguousarray(major[inner]), num_buckets)
+    if outer is None:
+        return None
+    return inner[outer]
+
+
+def _pair_order(
+    major: np.ndarray, minor: np.ndarray, num_buckets: int, engine: str
+) -> np.ndarray:
+    """Stable sort permutation over pairs — all tiers bit-identical."""
+    if engine == "native":
+        order = _pair_order_native(major, minor, num_buckets)
+        if order is not None:
+            return order
+        return _pair_order_vector(major, minor)
+    if engine == "scalar":
+        return _pair_order_scalar(major, minor)
+    return _pair_order_vector(major, minor)
 
 
 class GraphBuilder:
@@ -41,15 +106,41 @@ class GraphBuilder:
         if num_vertices < 0:
             raise ValueError("num_vertices must be non-negative")
         self._num_vertices = int(num_vertices)
-        self._src: list[int] = []
-        self._dst: list[int] = []
-        self._wgt: list[float] = []
+        #: archived (src, dst, wgt) array triples, in insertion order.
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._head_src: np.ndarray | None = None
+        self._head_dst: np.ndarray | None = None
+        self._head_wgt: np.ndarray | None = None
+        self._fill = 0
+        self._total = 0
         self._weighted = False
+        #: canonicalisation tallies of the most recent :meth:`build`.
+        self.last_audit: dict | None = None
 
     @property
     def num_vertices(self) -> int:
         """Number of vertices the final graph will have."""
         return self._num_vertices
+
+    @property
+    def num_edges_added(self) -> int:
+        """Edges recorded so far (before canonicalisation)."""
+        return self._total
+
+    def _flush_head(self) -> None:
+        """Archive the partially filled head chunk (views, no copies)."""
+        if self._fill:
+            self._chunks.append(
+                (
+                    self._head_src[: self._fill],
+                    self._head_dst[: self._fill],
+                    self._head_wgt[: self._fill],
+                )
+            )
+        self._head_src = None
+        self._head_dst = None
+        self._head_wgt = None
+        self._fill = 0
 
     def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
         """Record the undirected edge ``{u, v}``.
@@ -60,18 +151,47 @@ class GraphBuilder:
             raise ValueError(
                 f"edge ({u}, {v}) out of range for n={self._num_vertices}"
             )
-        self._src.append(int(u))
-        self._dst.append(int(v))
-        self._wgt.append(float(weight))
+        if self._head_src is None:
+            self._head_src = np.empty(_CHUNK, dtype=np.int64)
+            self._head_dst = np.empty(_CHUNK, dtype=np.int64)
+            self._head_wgt = np.empty(_CHUNK, dtype=np.float64)
+            self._fill = 0
+        i = self._fill
+        self._head_src[i] = int(u)
+        self._head_dst[i] = int(v)
+        self._head_wgt[i] = float(weight)
+        self._fill = i + 1
+        self._total += 1
+        if self._fill == _CHUNK:
+            self._flush_head()
         if weight != 1.0:
             self._weighted = True
 
     def add_edges(
-        self, edges: Iterable[Tuple[int, int]] | np.ndarray
+        self,
+        edges: Iterable[Tuple[int, int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
     ) -> None:
-        """Record many unweighted edges at once."""
-        for u, v in edges:
-            self.add_edge(int(u), int(v))
+        """Record many edges at once from ``(u, v)`` pairs.
+
+        One vectorised bulk append — no per-edge Python loop.  With
+        ``weights`` the sequences must align.
+        """
+        if isinstance(edges, np.ndarray):
+            arr = np.array(edges, dtype=np.int64)
+        else:
+            arr = np.array(list(edges), dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
+        if weights is None:
+            self.add_edge_array(arr[:, 0], arr[:, 1])
+            return
+        wgt = np.asarray(weights, dtype=np.float64)
+        if wgt.ndim != 1 or wgt.size != arr.shape[0]:
+            raise ValueError("weights must align with edges")
+        self.add_edge_array(arr[:, 0], arr[:, 1], wgt)
 
     def add_edge_array(
         self,
@@ -82,32 +202,78 @@ class GraphBuilder:
         """Record many edges from aligned arrays in one bulk append.
 
         Equivalent to calling :meth:`add_edge` for each position in turn,
-        but with vectorised validation and list extension.
+        but with vectorised validation and zero-copy chunk archiving.
         """
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
+        src = np.array(src, dtype=np.int64)  # private copies: the chunk
+        dst = np.array(dst, dtype=np.int64)  # list keeps references
         if src.shape != dst.shape or src.ndim != 1:
             raise ValueError("src and dst must be aligned 1-d arrays")
         if src.size == 0:
+            if weights is not None and np.asarray(weights).size != 0:
+                raise ValueError("weights must align with src/dst")
             return
         n = self._num_vertices
         lo = min(int(src.min()), int(dst.min()))
         hi = max(int(src.max()), int(dst.max()))
         if lo < 0 or hi >= n:
             raise ValueError(f"edge endpoints out of range for n={n}")
-        self._src.extend(src.tolist())
-        self._dst.extend(dst.tolist())
         if weights is None:
-            self._wgt.extend([1.0] * src.size)
+            wgt = np.ones(src.size, dtype=np.float64)
         else:
-            weights = np.asarray(weights, dtype=np.float64)
-            if weights.shape != src.shape:
+            wgt = np.array(weights, dtype=np.float64)
+            if wgt.shape != src.shape:
                 raise ValueError("weights must align with src/dst")
-            self._wgt.extend(weights.tolist())
-            if np.any(weights != 1.0):
+            if np.any(wgt != 1.0):
                 self._weighted = True
+        self._flush_head()  # keep insertion order across mixed appends
+        self._chunks.append((src, dst, wgt))
+        self._total += src.size
 
-    def build(self, weighted: bool | None = None) -> CSRGraph:
+    def _edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All recorded edges as flat arrays, in insertion order."""
+        parts = list(self._chunks)
+        if self._fill:
+            parts.append(
+                (
+                    self._head_src[: self._fill],
+                    self._head_dst[: self._fill],
+                    self._head_wgt[: self._fill],
+                )
+            )
+        if not parts:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i, np.empty(0, dtype=np.float64)
+        if len(parts) == 1:
+            return parts[0]
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+        )
+
+    def _finish(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        wts: np.ndarray | None,
+        *,
+        added: int,
+        self_loops: int,
+        duplicates: int,
+    ) -> CSRGraph:
+        graph = CSRGraph(indptr, indices, wts)
+        audit = {
+            "edges_added": int(added),
+            "self_loops_dropped": int(self_loops),
+            "duplicate_edges_merged": int(duplicates),
+        }
+        self.last_audit = audit
+        graph.meta["ingest_audit"] = audit
+        return graph
+
+    def build(
+        self, weighted: bool | None = None, engine: str | None = None
+    ) -> CSRGraph:
         """Finalise the canonical undirected CSR graph.
 
         Parameters
@@ -116,54 +282,68 @@ class GraphBuilder:
             Force the output to carry (or not carry) a weights array.
             Defaults to carrying weights only when a non-unit weight was
             added.
+        engine:
+            Tier for the two stable pair sorts (default: the ambient
+            engine).  Every tier is bit-identical; tiny edge sets
+            short-circuit to the scalar path.
         """
         if weighted is None:
             weighted = self._weighted
         n = self._num_vertices
-        if not self._src:
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            indices = np.zeros(0, dtype=np.int64)
-            wts = np.zeros(0, dtype=np.float64) if weighted else None
-            return CSRGraph(indptr, indices, wts)
-
-        src = np.asarray(self._src, dtype=np.int64)
-        dst = np.asarray(self._dst, dtype=np.int64)
-        wgt = np.asarray(self._wgt, dtype=np.float64)
-
-        # Drop self-loops.
-        keep = src != dst
-        src, dst, wgt = src[keep], dst[keep], wgt[keep]
+        src, dst, wgt = self._edge_arrays()
         if src.size == 0:
             indptr = np.zeros(n + 1, dtype=np.int64)
             indices = np.zeros(0, dtype=np.int64)
             wts = np.zeros(0, dtype=np.float64) if weighted else None
-            return CSRGraph(indptr, indices, wts)
+            return self._finish(
+                indptr, indices, wts, added=0, self_loops=0, duplicates=0
+            )
+        added = int(src.size)
+        resolved = engine_for_work(2 * added, engine)
 
-        # Canonical (min, max) form, then dedup merging weights.
+        # Drop self-loops.
+        keep = src != dst
+        src, dst, wgt = src[keep], dst[keep], wgt[keep]
+        self_loops = added - int(src.size)
+        if src.size == 0:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            indices = np.zeros(0, dtype=np.int64)
+            wts = np.zeros(0, dtype=np.float64) if weighted else None
+            return self._finish(
+                indptr, indices, wts,
+                added=added, self_loops=self_loops, duplicates=0,
+            )
+
+        # Canonical (min, max) form, then dedup merging weights.  The
+        # stable sort fixes the within-group order, so the np.add.at
+        # float sums are bit-identical across engines.
         lo = np.minimum(src, dst)
         hi = np.maximum(src, dst)
-        key = lo * n + hi
-        order = np.argsort(key, kind="stable")
-        key, lo, hi, wgt = key[order], lo[order], hi[order], wgt[order]
-        uniq_mask = np.ones(key.size, dtype=bool)
-        uniq_mask[1:] = key[1:] != key[:-1]
+        order = _pair_order(lo, hi, n, resolved)
+        lo, hi, wgt = lo[order], hi[order], wgt[order]
+        uniq_mask = np.ones(lo.size, dtype=bool)
+        uniq_mask[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
         group_ids = np.cumsum(uniq_mask) - 1
         merged_w = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
         np.add.at(merged_w, group_ids, wgt)
+        duplicates = int(lo.size) - int(merged_w.size)
         lo, hi = lo[uniq_mask], hi[uniq_mask]
 
         # Symmetrise and sort into CSR.
         all_src = np.concatenate((lo, hi))
         all_dst = np.concatenate((hi, lo))
         all_w = np.concatenate((merged_w, merged_w))
-        order = np.lexsort((all_dst, all_src))
+        order = _pair_order(all_src, all_dst, n, resolved)
         all_src, all_dst, all_w = all_src[order], all_dst[order], all_w[order]
 
         counts = np.bincount(all_src, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         wts = all_w if weighted else None
-        return CSRGraph(indptr, all_dst, wts)
+        return self._finish(
+            indptr, all_dst, wts,
+            added=added, self_loops=self_loops, duplicates=duplicates,
+        )
 
 
 def from_edges(
@@ -183,16 +363,9 @@ def from_edges(
         Optional per-edge weights aligned with ``edges``.
     """
     builder = GraphBuilder(num_vertices)
-    if weights is None:
-        builder.add_edges(edges)
-        return builder.build()
-    edge_list = list(edges)
-    if len(edge_list) != len(weights):
-        raise ValueError("weights must align with edges")
-    for (u, v), w in zip(edge_list, weights):
-        builder.add_edge(int(u), int(v), float(w))
+    builder.add_edges(edges, weights=weights)
     # Explicit weights always produce a weighted graph, even if all 1.0.
-    return builder.build(weighted=True)
+    return builder.build(weighted=True if weights is not None else None)
 
 
 def empty_graph(num_vertices: int) -> CSRGraph:

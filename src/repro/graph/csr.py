@@ -48,7 +48,7 @@ class CSRGraph:
 
     __slots__ = (
         "_indptr", "_indices", "_weights", "_edge_array",
-        "_degrees", "_weighted_degrees", "_content_hash",
+        "_degrees", "_weighted_degrees", "_content_hash", "_meta",
     )
 
     def __init__(
@@ -99,6 +99,7 @@ class CSRGraph:
         self._degrees: np.ndarray | None = None
         self._weighted_degrees: np.ndarray | None = None
         self._content_hash: str | None = None
+        self._meta: dict | None = None
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -177,6 +178,21 @@ class CSRGraph:
                 digest.update(self._weights.tobytes())
             self._content_hash = digest.hexdigest()
         return self._content_hash
+
+    @property
+    def meta(self) -> dict:
+        """Mutable provenance side-channel (ingest audit, parse engine).
+
+        Holds facts *about how the graph was obtained* — the builder's
+        canonicalisation tallies, the parse tier that read it, the
+        dataset hygiene audit — never facts about its structure.
+        Deliberately excluded from ``==``, ``hash`` and
+        :meth:`content_hash`: two graphs with the same CSR content are
+        the same graph regardless of how they were ingested.
+        """
+        if self._meta is None:
+            self._meta = {}
+        return self._meta
 
     def neighbors(self, v: int) -> np.ndarray:
         """Neighbours of vertex ``v`` as an array view."""

@@ -117,6 +117,9 @@ def publish_graph(graph: CSRGraph) -> dict | None:
         "num_directed_edges": m,
         "weighted": weighted,
         "content_hash": graph.content_hash(),
+        # provenance rides along so attached graphs keep their ingest
+        # and dataset audits (the dict is picklable by construction).
+        "graph_meta": dict(graph._meta) if graph._meta else {},
     }
     if name in _published:
         return meta
@@ -165,7 +168,10 @@ def _wrap(buf, meta: dict) -> CSRGraph:
     for array in (indptr, indices, weights):
         if array is not None:
             array.setflags(write=False)
-    return CSRGraph(indptr, indices, weights)
+    graph = CSRGraph(indptr, indices, weights)
+    for key, value in (meta.get("graph_meta") or {}).items():
+        graph.meta[key] = value
+    return graph
 
 
 def attach_graph(meta: dict) -> CSRGraph | None:

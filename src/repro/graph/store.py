@@ -1,0 +1,362 @@
+"""Content-addressed mmap-backed binary graph store (``.rgr`` files).
+
+Text parsing — even through the native kernel — costs time linear in
+the *formatted* size of a graph.  Once a graph has been built, its CSR
+arrays are already the densest representation we will ever want, so
+this store persists them verbatim: a warm load is an ``mmap`` attach of
+page-aligned ``int64``/``float64`` arrays, costing milliseconds and no
+heap copies regardless of graph size.  Pages fault in lazily as the
+arrays are traversed, and read-only mappings of the same file are
+shared between processes by the page cache — the on-disk twin of the
+shared-memory fan-out in :mod:`repro.graph.shm` (which can publish a
+mapped graph's arrays directly, copying from the page cache instead of
+a rebuilt heap).
+
+File layout (little-endian)::
+
+    offset 0   : magic b"RGR1"
+    offset 4   : uint64 header length H
+    offset 12  : H bytes of JSON header
+    page-aligned (4096) after the header:
+        indptr   (num_vertices + 1) int64
+        indices  num_directed_edges int64   [next page boundary]
+        weights  num_directed_edges float64 [next page boundary, weighted only]
+
+The JSON header records the array geometry, the graph's
+:meth:`~repro.graph.csr.CSRGraph.content_hash`, and its provenance
+``meta`` dict; array offsets are *derived* from the geometry, never
+stored, so the header cannot contradict the layout.
+
+Like the ordering cache (:mod:`repro.ordering.store`), the store is
+self-healing and never raises on damaged entries: a bad magic, torn
+header, short file, or (when verification is on) a content-hash
+mismatch quarantines the file to ``<entry>.bad`` and reports a miss, so
+callers rebuild and rewrite.  Writes are atomic (temp + ``os.replace``)
+and the ``cache-corrupt`` injected fault tears fresh entries to keep
+the recovery path property-tested.
+
+Environment switches:
+
+* ``REPRO_GRAPH_CACHE`` — ``0`` disables the store; any other value is
+  the store directory (default: ``$REPRO_CACHE_DIR/graphs``).
+* ``REPRO_NO_MMAP=1`` — load with copying reads instead of ``mmap``
+  (for filesystems where mappings are unreliable); results are
+  identical, only residency behaviour changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from ..analysis import sanitize
+from ..resilience import faults
+from .csr import CSRGraph
+
+__all__ = [
+    "GraphStore",
+    "default_store",
+    "store_enabled",
+    "mmap_enabled",
+    "write_graph_file",
+    "read_graph_file",
+    "FORMAT_VERSION",
+    "ENV_STORE",
+    "ENV_NO_MMAP",
+]
+
+MAGIC = b"RGR1"
+FORMAT_VERSION = 1
+ENV_STORE = "REPRO_GRAPH_CACHE"
+ENV_NO_MMAP = "REPRO_NO_MMAP"
+
+#: arrays start on page boundaries so mappings are alignment-friendly.
+_PAGE = 4096
+
+#: magic + uint64 header length.
+_PREAMBLE = 12
+
+#: damaged entries raise these at parse time; all mean "quarantine".
+_CORRUPTION_ERRORS = (OSError, EOFError, KeyError, ValueError, TypeError)
+
+
+def store_enabled() -> bool:
+    """Whether the persistent graph store is on (``REPRO_GRAPH_CACHE``)."""
+    return os.environ.get(ENV_STORE, "") != "0"
+
+
+def mmap_enabled() -> bool:
+    """Whether loads attach via ``mmap`` (off under ``REPRO_NO_MMAP=1``)."""
+    return os.environ.get(ENV_NO_MMAP, "") != "1"
+
+
+def _page_ceil(offset: int) -> int:
+    return (offset + _PAGE - 1) // _PAGE * _PAGE
+
+
+def _layout(header_len: int, n: int, mdir: int, weighted: bool):
+    """(indptr, indices, weights, end) byte offsets, derived not stored."""
+    indptr_off = _page_ceil(_PREAMBLE + header_len)
+    indices_off = _page_ceil(indptr_off + 8 * (n + 1))
+    weights_off = _page_ceil(indices_off + 8 * mdir)
+    end = weights_off + 8 * mdir if weighted else indices_off + 8 * mdir
+    return indptr_off, indices_off, weights_off, end
+
+
+def _json_safe_meta(meta: dict | None) -> dict:
+    """The JSON-representable subset of a graph's ``meta`` dict."""
+    if not meta:
+        return {}
+    safe = {}
+    for key, value in meta.items():
+        try:
+            json.dumps({key: value})
+        except (TypeError, ValueError):
+            continue
+        safe[key] = value
+    return safe
+
+
+def write_graph_file(path: str, graph: CSRGraph) -> str:
+    """Serialise ``graph`` to ``path`` atomically; returns ``path``.
+
+    The write goes to a temp file in the target directory and is
+    published with ``os.replace``, so concurrent writers of the same
+    entry land identical bytes and readers never see a torn file
+    (except through the deliberate ``cache-corrupt`` fault).
+    """
+    n = graph.num_vertices
+    mdir = graph.num_directed_edges
+    weighted = graph.is_weighted
+    header = {
+        "format": FORMAT_VERSION,
+        "num_vertices": n,
+        "num_directed_edges": mdir,
+        "weighted": weighted,
+        "content_hash": graph.content_hash(),
+        "meta": _json_safe_meta(graph._meta),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    indptr_off, indices_off, weights_off, _end = _layout(
+        len(header_bytes), n, mdir, weighted
+    )
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".rgr"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(len(header_bytes).to_bytes(8, "little"))
+            handle.write(header_bytes)
+            for offset, array in (
+                (indptr_off, graph.indptr),
+                (indices_off, graph.indices),
+                (weights_off, graph.weights),
+            ):
+                if array is None:
+                    continue
+                handle.seek(offset)
+                handle.write(np.ascontiguousarray(array).tobytes())
+            # zero-length arrays write nothing; pad so the file always
+            # spans the derived layout and the load-side size check is
+            # uniform.
+            handle.truncate(_end)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    faults.maybe_cache_corrupt(path)
+    return path
+
+
+def _read_arrays(path: str, header: dict):
+    """The three CSR arrays for a parsed header (mmap or copying)."""
+    n = int(header["num_vertices"])
+    mdir = int(header["num_directed_edges"])
+    weighted = bool(header["weighted"])
+    header_len = int(header["_header_len"])
+    indptr_off, indices_off, weights_off, end = _layout(
+        header_len, n, mdir, weighted
+    )
+    if os.path.getsize(path) < end:
+        raise ValueError("short file")
+    if mmap_enabled():
+        def attach(offset, dtype, count):
+            if count == 0:  # zero bytes cannot be mapped
+                return np.empty(0, dtype=dtype)
+            return np.memmap(
+                path, mode="r", dtype=dtype, offset=offset, shape=(count,)
+            )
+    else:
+        def attach(offset, dtype, count):
+            if count == 0:
+                return np.empty(0, dtype=dtype)
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                array = np.fromfile(handle, dtype=dtype, count=count)
+            if array.size != count:
+                raise ValueError("short read")
+            array.setflags(write=False)
+            return array
+    indptr = attach(indptr_off, np.int64, n + 1)
+    indices = attach(indices_off, np.int64, mdir)
+    weights = attach(weights_off, np.float64, mdir) if weighted else None
+    return indptr, indices, weights
+
+
+def read_graph_file(path: str, *, verify: bool = False) -> CSRGraph:
+    """Deserialise a ``.rgr`` file (raises on damage; see ``GraphStore``).
+
+    With ``verify=True`` — or whenever the numeric sanitizer is armed —
+    the CSR content hash is recomputed and checked against the header,
+    which faults in every page.  The default trusts the structural
+    validation done by the :class:`CSRGraph` constructor and stays lazy.
+    """
+    with open(path, "rb") as handle:
+        preamble = handle.read(_PREAMBLE)
+        if len(preamble) != _PREAMBLE or preamble[:4] != MAGIC:
+            raise ValueError("bad magic")
+        header_len = int.from_bytes(preamble[4:], "little")
+        if header_len > 1 << 20:
+            raise ValueError("implausible header length")
+        header_bytes = handle.read(header_len)
+        if len(header_bytes) != header_len:
+            raise ValueError("truncated header")
+    header = json.loads(header_bytes)
+    if header.get("format") != FORMAT_VERSION:
+        raise ValueError("stale format version")
+    header["_header_len"] = header_len
+    indptr, indices, weights = _read_arrays(path, header)
+    graph = CSRGraph(indptr, indices, weights)
+    if verify or sanitize.enabled():
+        if graph.content_hash() != header["content_hash"]:
+            raise ValueError("content hash mismatch")
+    else:
+        # the arrays were hashed at write time; adopt the digest so
+        # downstream consumers (ordering cache keys, shm segment names)
+        # do not fault in every page just to recompute it.
+        graph._content_hash = str(header["content_hash"])
+    for key, value in dict(header.get("meta") or {}).items():
+        graph.meta[key] = value
+    return graph
+
+
+class GraphStore:
+    """A keyed on-disk collection of ``.rgr`` graphs with quarantine.
+
+    Keys are caller-chosen strings (the dataset registry derives them
+    from the recipe's source digest, making entries content-addressed);
+    the store maps them to ``<root>/<key>.rgr`` and gives the same
+    never-raise load contract as :class:`repro.ordering.store.
+    OrderingStore`.
+    """
+
+    def __init__(self, root: str | None = None) -> None:
+        if root is None:
+            root = _default_root()
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    def path(self, key: str) -> str:
+        """Full path of the entry for ``key``."""
+        return os.path.join(self.root, f"{key}.rgr")
+
+    def _quarantine(self, path: str) -> None:
+        try:
+            os.replace(path, path + ".bad")
+            self.quarantined += 1
+        except OSError:
+            pass
+
+    def load(self, key: str, *, verify: bool = False) -> CSRGraph | None:
+        """The stored graph, or ``None`` on a miss (never raises).
+
+        Damaged entries are quarantined to ``<entry>.bad`` and counted
+        as misses; the caller rebuilds and :meth:`save` overwrites.
+        """
+        path = self.path(key)
+        try:
+            graph = read_graph_file(path, verify=verify)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except _CORRUPTION_ERRORS:
+            if os.path.isfile(path):
+                self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return graph
+
+    def save(self, key: str, graph: CSRGraph) -> str:
+        """Persist ``graph`` under ``key``; returns the entry path."""
+        return write_graph_file(self.path(key), graph)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for name in os.listdir(self.root):
+            if name.endswith((".rgr", ".bad")):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of live ``.rgr`` entries on disk."""
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(
+            1 for name in os.listdir(self.root)
+            if name.endswith(".rgr") and not name.startswith(".tmp-")
+        )
+
+    def quarantined_count(self) -> int:
+        """Number of quarantined ``.bad`` files currently on disk."""
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(
+            1 for name in os.listdir(self.root) if name.endswith(".bad")
+        )
+
+
+def _default_root() -> str:
+    override = os.environ.get(ENV_STORE, "")
+    if override and override != "0":
+        return override
+    cache_root = os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+    return os.path.join(cache_root, "graphs")
+
+
+def default_store() -> GraphStore | None:
+    """The process-wide store for the current environment, or ``None``.
+
+    Re-resolves the environment on every call (tests repoint the cache
+    directory per test); counters persist per resolved root for the
+    life of the process.
+    """
+    if not store_enabled():
+        return None
+    root = _default_root()
+    store = _STORES.get(root)
+    if store is None:
+        store = GraphStore(root)
+        _STORES[root] = store
+    return store
+
+
+_STORES: dict[str, GraphStore] = {}

@@ -137,12 +137,20 @@ def test_registry_load_attaches_shared_graph(graph):
     assert registry.shared_graph_metas()["euroroad"] == meta
 
 
-def test_registry_falls_back_when_segment_gone(graph):
+def test_registry_falls_back_when_segment_gone(graph, monkeypatch):
     built = registry.load("euroroad")
     meta = shm.publish_graph(built)
     shm.unlink_all()
     registry.install_shared_graph("euroroad", meta)
-    served = registry.load("euroroad")  # attach fails -> rebuilds
+    # attach fails -> the persistent store serves the entry written by
+    # the first build (read-only mmap views, same content)
+    served = registry.load("euroroad")
+    assert not served.indptr.flags.writeable
+    assert served.content_hash() == built.content_hash()
+    # with the store disabled too, the fallback is a fresh build
+    monkeypatch.setenv("REPRO_GRAPH_CACHE", "0")
+    registry.install_shared_graph("euroroad", meta)  # drops the memo
+    served = registry.load("euroroad")
     assert served.indptr.flags.writeable
     assert served.content_hash() == built.content_hash()
 

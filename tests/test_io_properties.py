@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.engine import use_engine
 from repro.graph import from_edges
 from repro.graph.io import (
     read_edge_list,
@@ -63,3 +64,75 @@ class TestRoundTrips:
         if graph.is_weighted and graph.num_edges > 0:
             assert restored.is_weighted
             assert np.allclose(restored.weights, graph.weights)
+
+    @given(graph=graph_strategy, padding=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_trailing_isolated_vertices_survive(
+        self, writer, reader, ext, graph, padding, tmp_path_factory
+    ):
+        # re-home the edges in a graph with `padding` trailing isolated
+        # vertices; every format must preserve the exact vertex count
+        # (edge lists via the n= header, METIS/MatrixMarket via their
+        # declared dimensions)
+        n = graph.num_vertices + padding
+        edges = graph.edge_array()
+        padded = from_edges(n, [(int(u), int(v)) for u, v in edges])
+        path = tmp_path_factory.mktemp("io") / f"p.{ext}"
+        writer(padded, path)
+        restored = reader(path)
+        assert restored.num_vertices == n
+        assert np.array_equal(
+            restored.indptr[-padding:], padded.indptr[-padding:]
+        )
+
+
+@given(graph=graph_strategy)
+@settings(max_examples=20, deadline=None)
+def test_edge_list_roundtrip_identical_across_engines(
+    graph, tmp_path_factory
+):
+    path = tmp_path_factory.mktemp("io") / "g.txt"
+    write_edge_list(graph, path)
+    restored = {}
+    for engine in ("scalar", "vector", "native"):
+        with use_engine(engine):
+            restored[engine] = read_edge_list(path)
+    ref = restored["scalar"]
+    assert ref.num_vertices == graph.num_vertices
+    for engine in ("vector", "native"):
+        other = restored[engine]
+        assert np.array_equal(other.indptr, ref.indptr)
+        assert np.array_equal(other.indices, ref.indices)
+        assert other.is_weighted == ref.is_weighted
+        if ref.is_weighted:
+            assert np.array_equal(other.weights, ref.weights)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        min_size=1,
+        max_size=40,
+    ),
+    comments=st.lists(
+        st.sampled_from(
+            ["# produced by a crawler", "% KONECT-style note", "#"]
+        ),
+        max_size=3,
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_edge_list_one_based_with_comment_headers(
+    edges, comments, tmp_path_factory
+):
+    path = tmp_path_factory.mktemp("io") / "g.txt"
+    lines = list(comments)
+    lines += [f"{u + 1} {v + 1}" for u, v in edges]
+    path.write_text("\n".join(lines) + "\n")
+    reference = from_edges(
+        max(max(u, v) for u, v in edges) + 1, edges
+    )
+    for engine in ("scalar", "vector", "native"):
+        with use_engine(engine):
+            restored = read_edge_list(path, one_based=True)
+        assert restored == reference

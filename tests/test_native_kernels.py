@@ -37,11 +37,14 @@ KERNEL_NAMES = (
     "delta_scan",
     "rrr_sample",
     "counting_sort",
+    "parse_edges",
 )
 
 #: kernels that fan work out over a pthread pool; each must declare a
 #: serial twin and reproduce its single-thread result at any count.
-THREADED_KERNELS = ("lru_replay", "delta_scan", "rrr_sample", "counting_sort")
+THREADED_KERNELS = (
+    "lru_replay", "delta_scan", "rrr_sample", "counting_sort", "parse_edges",
+)
 
 GRAPHS = {
     "grid": make_grid(7, 6),
