@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint test-sanitize test-faults bench bench-paper \
-	bench-ablations bench-perf bench-native bench-threads examples clean
+.PHONY: install test lint clint test-sanitize test-faults test-asan \
+	test-ubsan test-tsan bench bench-paper bench-ablations bench-perf \
+	bench-native bench-threads examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -11,6 +12,28 @@ test:
 
 lint:
 	PYTHONPATH=src python -m repro.analysis --jobs 2
+
+clint:
+	PYTHONPATH=src python -m repro.analysis --clint
+
+# Sanitizer legs: rebuild every native kernel under an instrumented
+# profile (cache-keyed separately from the -O3 builds) and run the
+# bit-identity suites; any sanitizer report fails the leg with its
+# SUMMARY line (scripts/native_sanitize.sh).
+test-asan:
+	sh scripts/native_sanitize.sh asan -x -q tests/test_native_kernels.py
+
+test-ubsan:
+	sh scripts/native_sanitize.sh ubsan -x -q tests/test_native_kernels.py
+
+# The race gate: threaded kernels (parse/counting/rrr/delta/lru) under
+# ThreadSanitizer with a multi-thread ambient default; the
+# thread-invariance tests inside sweep 1-8 workers.  Contract 6
+# (native-tsan-gate) statically checks every threaded kernel is
+# reachable from a test this leg runs.
+test-tsan:
+	REPRO_NATIVE_THREADS=4 sh scripts/native_sanitize.sh tsan -x -q \
+		tests/test_native_kernels.py tests/test_ingest.py
 
 test-sanitize:
 	REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest -x -q \

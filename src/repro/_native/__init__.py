@@ -35,12 +35,16 @@ from __future__ import annotations
 
 from .core import (
     MAX_THREADS,
+    SANITIZE_PROFILES,
+    NativeBuildError,
     NativeKernel,
     build_info_all,
     cache_dir,
+    collect_sanitizer_reports,
     get_kernel,
     kernel_names,
     native_threads,
+    sanitize_profile,
     set_thread_cap,
     use_native_threads,
 )
@@ -48,13 +52,17 @@ from . import counting, delta, fm, gorder, lru, parse, rrr  # noqa: F401  (regis
 
 __all__ = [
     "NativeKernel",
+    "NativeBuildError",
     "build_info_all",
     "cache_dir",
+    "collect_sanitizer_reports",
     "get_kernel",
     "kernel_names",
     "native_threads",
+    "sanitize_profile",
     "set_thread_cap",
     "use_native_threads",
+    "SANITIZE_PROFILES",
     "MAX_THREADS",
     "counting",
     "delta",

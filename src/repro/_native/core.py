@@ -29,10 +29,24 @@ surface:
 
 The shared objects live under ``~/.cache/repro-native`` (or
 ``XDG_CACHE_HOME``, or the system temp dir) keyed by a hash of the C
-source; a ``.json`` sidecar next to each ``.so`` records the compiler
-that produced it, so ``build_info()`` can report the compiler on
+source *and* the flag profile; a ``.json`` sidecar next to each ``.so``
+records the compiler name, its version, and the exact flag list that
+produced it, so ``build_info()`` can report full provenance on
 cache-hit loads too.  Compilation happens once per machine, not once
 per process.
+
+Sanitizer build profiles
+------------------------
+``REPRO_NATIVE_SANITIZE=asan|ubsan|tsan`` (read through
+:func:`sanitize_profile`, the single sanctioned accessor) switches every
+kernel to an instrumented build: ``-fsanitize=... -g -O1
+-fno-omit-frame-pointer`` with ``-Wall -Wextra -Werror`` so compiler
+warnings become hard findings.  Instrumented and ``-O3`` shared objects
+never collide because the profile participates in the cache key.  The
+``make test-asan`` / ``test-ubsan`` / ``test-tsan`` legs (via
+``scripts/native_sanitize.sh``) run the bit-identity suites under each
+profile and turn any sanitizer report into a structured failure via
+:func:`collect_sanitizer_reports`.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ import ctypes
 import hashlib
 import json
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
@@ -49,6 +64,7 @@ from typing import Iterator, Mapping, Sequence
 
 __all__ = [
     "NativeKernel",
+    "NativeBuildError",
     "get_kernel",
     "kernel_names",
     "build_info_all",
@@ -56,6 +72,9 @@ __all__ = [
     "native_threads",
     "set_thread_cap",
     "use_native_threads",
+    "sanitize_profile",
+    "collect_sanitizer_reports",
+    "SANITIZE_PROFILES",
     "MAX_THREADS",
 ]
 
@@ -130,12 +149,75 @@ def cache_dir() -> str:
         return tempfile.gettempdir()
 
 
-def _compiler() -> str | None:
-    """The first available C compiler, or None."""
+#: sanitizer profiles: extra flags appended to the instrumented build.
+#: ``REPRO_NATIVE_SANITIZE`` selects one; the profile name participates
+#: in the ``.so`` cache key so instrumented builds never shadow ``-O3``.
+SANITIZE_PROFILES: dict[str, tuple[str, ...]] = {
+    "asan": ("-fsanitize=address",),
+    "ubsan": ("-fsanitize=undefined", "-fno-sanitize-recover=undefined"),
+    "tsan": ("-fsanitize=thread",),
+}
+
+
+class NativeBuildError(RuntimeError):
+    """A kernel failed to compile; carries the compiler diagnostics."""
+
+    def __init__(self, message: str, *, stderr: str = "") -> None:
+        super().__init__(message)
+        self.stderr = stderr
+
+
+def sanitize_profile() -> str | None:
+    """The active sanitizer profile, or None for the plain -O3 build.
+
+    Single sanctioned read of ``REPRO_NATIVE_SANITIZE``.  An unknown
+    value raises immediately — a typo'd sanitizer knob silently running
+    uninstrumented builds would defeat the whole gate.
+    """
+    value = os.environ.get("REPRO_NATIVE_SANITIZE", "").strip().lower()
+    if not value:
+        return None
+    if value not in SANITIZE_PROFILES:
+        raise ValueError(
+            f"REPRO_NATIVE_SANITIZE={value!r} is not a known profile; "
+            f"expected one of {sorted(SANITIZE_PROFILES)}"
+        )
+    return value
+
+
+def _compiler() -> list[str] | None:
+    """The first available C compiler as an argv prefix, or None.
+
+    ``$CC`` may name a wrapper with arguments (``CC="ccache gcc"``); the
+    string is split shell-style and availability is judged on the first
+    word, so wrapper invocations survive instead of failing a bare
+    ``shutil.which("ccache gcc")`` lookup.
+    """
     for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
-        if cand and shutil.which(cand):
-            return cand
+        if not cand:
+            continue
+        try:
+            argv = shlex.split(cand)
+        except ValueError:
+            continue
+        if argv and shutil.which(argv[0]):
+            return argv
     return None
+
+
+def _compiler_version(cc: Sequence[str]) -> str | None:
+    """First line of ``$CC --version``, or None when it cannot run."""
+    try:
+        proc = subprocess.run(
+            [*cc, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    line = (proc.stdout or proc.stderr).splitlines()
+    return line[0].strip() if line else None
 
 
 #: Static fork-join helper prepended to every ``threaded=True`` kernel
@@ -269,62 +351,123 @@ class NativeKernel:
         self._tried = False
         self._status = "not built"
         self._compiler_used: str | None = None
+        self._compiler_version: str | None = None
+        self._flags_used: list[str] | None = None
+        self._profile: str | None = None
+        self._compile_stderr: str | None = None
         self._cache_hit: bool | None = None
         _KERNELS[name] = self
 
     # -- build ---------------------------------------------------------
     @property
     def source_digest(self) -> str:
-        """Short hash of the C source (the build-cache key)."""
+        """Short hash of the C source (half of the build-cache key)."""
         return hashlib.sha256(self.source.encode()).hexdigest()[:16]
 
-    def _so_path(self) -> str:
+    def build_flags(self, profile: str | None) -> list[str]:
+        """Compile flags for ``profile`` (None = plain ``-O3`` build).
+
+        Instrumented builds trade ``-O3`` for ``-g -O1
+        -fno-omit-frame-pointer`` (usable sanitizer stacks) and promote
+        warnings to errors so a diagnosed kernel cannot ship silently.
+        """
+        if profile is None:
+            flags = ["-O3", "-fPIC", "-shared"]
+        else:
+            flags = [
+                "-g",
+                "-O1",
+                "-fno-omit-frame-pointer",
+                "-fPIC",
+                "-shared",
+                "-Wall",
+                "-Wextra",
+                "-Werror",
+                *SANITIZE_PROFILES[profile],
+            ]
+        if self.threaded:
+            flags.append("-pthread")
+        return flags
+
+    def _so_path(self, profile: str | None) -> str:
+        # cache key = (source digest, flags profile): a flags change —
+        # not just a source change — must force a rebuild, and the
+        # instrumented .so must never shadow the -O3 one.
+        flags_tag = hashlib.sha256(
+            " ".join(self.build_flags(profile)).encode()
+        ).hexdigest()[:8]
+        tag = f"{profile or 'opt'}-{flags_tag}"
         return os.path.join(
-            cache_dir(), f"{self.name}_{self.source_digest}.so"
+            cache_dir(), f"{self.name}_{self.source_digest}_{tag}.so"
         )
 
-    def _meta_path(self) -> str:
-        return self._so_path() + ".json"
+    def _meta_path(self, profile: str | None) -> str:
+        return self._so_path(profile) + ".json"
 
-    def _load_cached_compiler(self) -> str | None:
-        """Compiler recorded by the build that produced the cached .so."""
+    def _load_sidecar(self, profile: str | None) -> dict:
+        """Provenance recorded by the build that produced the cached .so."""
         try:
-            with open(self._meta_path()) as f:
-                value = json.load(f).get("compiler")
-            return value if isinstance(value, str) else None
+            with open(self._meta_path(profile)) as f:
+                meta = json.load(f)
+            return meta if isinstance(meta, dict) else {}
         except (OSError, ValueError):
-            return None
+            return {}
 
-    def _build(self) -> ctypes.CDLL:
+    def _build(self, profile: str | None) -> ctypes.CDLL:
         """Compile (or reuse) the kernel and load it with prototypes."""
-        so_path = self._so_path()
+        so_path = self._so_path(profile)
+        self._profile = profile
         self._cache_hit = os.path.exists(so_path)
+        flags = self.build_flags(profile)
         if self._cache_hit:
-            self._compiler_used = self._load_cached_compiler()
+            meta = self._load_sidecar(profile)
+            self._compiler_used = meta.get("compiler")
+            self._compiler_version = meta.get("compiler_version")
+            recorded = meta.get("flags")
+            self._flags_used = (
+                list(recorded) if isinstance(recorded, list) else flags
+            )
         else:
             cc = _compiler()
             if cc is None:
                 raise RuntimeError("no C compiler found")
-            self._compiler_used = cc
-            flags = ["-O3", "-fPIC", "-shared"]
-            if self.threaded:
-                flags.append("-pthread")
+            self._compiler_used = " ".join(cc)
+            self._compiler_version = _compiler_version(cc)
+            self._flags_used = flags
             with tempfile.TemporaryDirectory() as tmp:
                 c_path = os.path.join(tmp, f"{self.name}.c")
                 with open(c_path, "w") as f:
                     f.write(self.source)
                 tmp_so = os.path.join(tmp, f"{self.name}.so")
-                subprocess.run(
-                    [cc, *flags, "-o", tmp_so, c_path],
-                    check=True,
+                proc = subprocess.run(
+                    [*cc, *flags, "-o", tmp_so, c_path],
                     capture_output=True,
+                    text=True,
                 )
+                if proc.returncode != 0:
+                    stderr = (proc.stderr or "").strip()
+                    self._compile_stderr = stderr
+                    first = stderr.splitlines()[0] if stderr else "(no diagnostics)"
+                    raise NativeBuildError(
+                        f"kernel {self.name!r} failed to compile "
+                        f"(exit {proc.returncode}): {first}",
+                        stderr=stderr,
+                    )
                 tmp_meta = os.path.join(tmp, f"{self.name}.json")
                 with open(tmp_meta, "w") as f:
-                    json.dump({"compiler": cc}, f)
+                    json.dump(
+                        {
+                            "compiler": self._compiler_used,
+                            "compiler_version": self._compiler_version,
+                            "flags": flags,
+                            "profile": profile,
+                            "source_digest": self.source_digest,
+                        },
+                        f,
+                    )
                 # atomic publish so concurrent builders cannot race;
                 # sidecar first so a visible .so always has its metadata
-                os.replace(tmp_meta, self._meta_path())
+                os.replace(tmp_meta, self._meta_path(profile))
                 os.replace(tmp_so, so_path)
         lib = ctypes.CDLL(so_path)
         for symbol, (argtypes, restype) in self.symbols.items():
@@ -341,9 +484,16 @@ class NativeKernel:
         if os.environ.get("REPRO_NO_NATIVE"):
             self._status = "disabled by REPRO_NO_NATIVE"
             return None
+        # resolved outside the fallback guard: a malformed sanitizer
+        # knob must fail loudly, never silently run uninstrumented
+        profile = sanitize_profile()
         try:
-            self._lib = self._build()
+            self._lib = self._build(profile)
             self._status = "cached" if self._cache_hit else "compiled"
+        except NativeBuildError as exc:
+            self._lib = None
+            first = exc.stderr.splitlines()[0] if exc.stderr else str(exc)
+            self._status = f"compile failed: {first}"
         except Exception as exc:  # pragma: no cover - toolchain dependent
             self._lib = None
             self._status = f"unavailable ({exc.__class__.__name__})"
@@ -355,6 +505,10 @@ class NativeKernel:
         self._tried = False
         self._status = "not built"
         self._compiler_used = None
+        self._compiler_version = None
+        self._flags_used = None
+        self._profile = None
+        self._compile_stderr = None
         self._cache_hit = None
 
     # -- reporting -----------------------------------------------------
@@ -367,6 +521,10 @@ class NativeKernel:
             "status": self._status,
             "available": available,
             "compiler": self._compiler_used,
+            "compiler_version": self._compiler_version,
+            "flags": self._flags_used,
+            "profile": self._profile,
+            "compile_stderr": self._compile_stderr,
             "cache_hit": self._cache_hit,
             "fallback": None if available else self._status,
             "source_digest": self.source_digest,
@@ -396,3 +554,50 @@ def kernel_names() -> list[str]:
 def build_info_all() -> dict[str, dict]:
     """``{kernel name: build_info()}`` for every registered kernel."""
     return {name: k.build_info() for name, k in _KERNELS.items()}
+
+
+def collect_sanitizer_reports(log_dir: str) -> list[dict]:
+    """Parse sanitizer ``log_path`` report files into structured records.
+
+    The sanitize legs run pytest with ``ASAN_OPTIONS``/``TSAN_OPTIONS``/
+    ``UBSAN_OPTIONS`` pointing ``log_path`` at a scratch directory; each
+    runtime writes ``report.<pid>`` files there on a finding.  This turns
+    those files into ``{"file", "summary", "kind", "text"}`` records so
+    the gate fails with the actual diagnosis instead of silent stderr.
+    An empty list means the leg ran clean.
+    """
+    reports: list[dict] = []
+    try:
+        names = sorted(os.listdir(log_dir))
+    except OSError:
+        return reports
+    for name in names:
+        path = os.path.join(log_dir, name)
+        if not os.path.isfile(path):
+            continue
+        try:
+            with open(path, errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        if not text.strip():
+            continue
+        summary = next(
+            (ln.strip() for ln in text.splitlines()
+             if ln.strip().startswith("SUMMARY:")),
+            text.strip().splitlines()[0],
+        )
+        kind = "sanitizer"
+        for marker, label in (
+            ("ThreadSanitizer", "tsan"),
+            ("AddressSanitizer", "asan"),
+            ("runtime error:", "ubsan"),
+            ("UndefinedBehaviorSanitizer", "ubsan"),
+        ):
+            if marker in text:
+                kind = label
+                break
+        reports.append(
+            {"file": path, "summary": summary, "kind": kind, "text": text}
+        )
+    return reports

@@ -255,6 +255,8 @@ int64_t delta_scan(const int64_t *l_indptr,
         nthreads = REPRO_MAX_THREADS;
     if (nthreads < 1)
         nthreads = 1;
+    if (source < 0 || source >= n)
+        return -1;
     state st = {
         dist, delta, nb, bucket_head, bucket_of,
         node_vertex, node_next, node_cap, 0, 0,

@@ -220,7 +220,8 @@ int64_t fm_refine(const int64_t *indptr,
                     cut += has_edge_w ? edge_w[k] : 1.0;
             }
         }
-        memset(locked, 0, (size_t)n);
+        if (n > 0)  /* tells the compiler the cast below cannot wrap */
+            memset(locked, 0, (size_t)n);
         double best_cut;
         int64_t improved = fm_one_pass(indptr, indices, edge_w, has_edge_w,
                                        n, gains, part, vertex_weights,

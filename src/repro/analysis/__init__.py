@@ -10,7 +10,12 @@ Three layers (see ``docs/analysis.md``):
   defaults).
 * :mod:`repro.analysis.contracts` — engine-parity contract checker:
   scalar twins resolvable, equivalence-test coverage, scheme metadata,
-  bench floors wired.
+  bench floors wired, native twins resolvable, threaded kernels inside
+  the ``test-tsan`` race gate.
+* :mod:`repro.analysis.clint` — C-source lint over the embedded native
+  kernels: non-determinism, uninitialized reads, narrow loop indices,
+  malloc leaks, unchecked cursor writes, and thread discipline for
+  ``repro_parallel_for`` task bodies.
 
 Plus the opt-in runtime half, :mod:`repro.analysis.sanitize`
 (``REPRO_SANITIZE=1``): float-error trapping, CSR/permutation
@@ -31,6 +36,7 @@ from .core import (
     scan_source,
     split_by_baseline,
 )
+from .clint import c_rule_help, check_native_sources, scan_kernel_source
 from .contracts import check_contracts
 from . import rules  # noqa: F401  (rule registration side effect)
 from . import sanitize
@@ -39,7 +45,10 @@ __all__ = [
     "DEFAULT_BASELINE",
     "Finding",
     "available_rules",
+    "c_rule_help",
     "check_contracts",
+    "check_native_sources",
+    "scan_kernel_source",
     "load_baseline",
     "render_json",
     "render_text",

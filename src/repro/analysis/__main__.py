@@ -1,8 +1,9 @@
 """``python -m repro.analysis`` — the reprolint CLI.
 
 Runs the AST determinism rules over the source tree (``src/repro`` by
-default), then the engine-parity contract checker, and fails (exit 1)
-on any finding not covered by the committed baseline
+default), the C-source lint over the embedded native kernels
+(:mod:`repro.analysis.clint`), then the engine-parity contract checker,
+and fails (exit 1) on any finding not covered by the committed baseline
 (``src/repro/analysis/baseline.json``).  ``make lint`` and the CI lint
 job both call this.
 
@@ -12,6 +13,8 @@ Examples::
     python -m repro.analysis --jobs 4             # parallel file scan
     python -m repro.analysis --format json        # machine-readable
     python -m repro.analysis --rules unordered-iter src/repro/ordering
+    python -m repro.analysis --clint              # C kernel lint only
+    python -m repro.analysis --san-reports DIR    # sanitizer log triage
     python -m repro.analysis --write-baseline     # accept current findings
     python -m repro.analysis --list-rules
 """
@@ -23,6 +26,7 @@ import json
 import sys
 from pathlib import Path
 
+from .clint import c_rule_help, check_native_sources
 from .contracts import check_contracts
 from .core import (
     DEFAULT_BASELINE,
@@ -38,6 +42,42 @@ from .core import (
     scan_paths,
     split_by_baseline,
 )
+
+
+def _triage_sanitizer_reports(log_dir: Path, fmt: str) -> int:
+    """Render sanitizer log_path files as structured failures.
+
+    The ``scripts/native_sanitize.sh`` legs call this after pytest so a
+    sanitizer diagnosis fails the gate with its summary line instead of
+    scrolling past as unexamined stderr.
+    """
+    from repro._native import collect_sanitizer_reports
+
+    reports = collect_sanitizer_reports(str(log_dir))
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "reports": [
+                        {k: r[k] for k in ("file", "kind", "summary")}
+                        for r in reports
+                    ]
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            print(f"{report['file']}: {report['kind']}: {report['summary']}")
+        print(f"{len(reports)} sanitizer report(s) under {log_dir}")
+    if reports:
+        print(
+            f"sanitize gate failed: {len(reports)} report(s); "
+            f"full text kept under {log_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,6 +121,21 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the engine-parity contract checker",
     )
     parser.add_argument(
+        "--clint", action="store_true",
+        help="run only the C-source lint over the native kernels",
+    )
+    parser.add_argument(
+        "--no-clint", action="store_true",
+        help="skip the C-source lint over the native kernels",
+    )
+    parser.add_argument(
+        "--san-reports", type=Path, metavar="DIR",
+        help=(
+            "triage sanitizer log_path reports under DIR: print each as "
+            "a structured failure and exit 1 when any exist"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -89,7 +144,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for name, help_text in rule_help().items():
             print(f"{name}: {help_text}")
+        for name, help_text in c_rule_help().items():
+            print(f"{name}: {help_text}")
         return 0
+
+    if args.san_reports is not None:
+        return _triage_sanitizer_reports(args.san_reports, args.format)
 
     rules = args.rules.split(",") if args.rules else None
     unknown = set(rules or ()) - set(available_rules())
@@ -99,11 +159,17 @@ def main(argv: list[str] | None = None) -> int:
             f"available: {available_rules()}"
         )
 
-    paths = args.paths or [SRC_ROOT / "repro"]
-    files = [f for p in paths for f in iter_python_files(Path(p))]
-    findings = scan_paths(paths, rules=rules, jobs=args.jobs)
-    if not args.no_contracts:
-        findings.extend(check_contracts())
+    if args.clint:
+        files = []
+        findings = check_native_sources()
+    else:
+        paths = args.paths or [SRC_ROOT / "repro"]
+        files = [f for p in paths for f in iter_python_files(Path(p))]
+        findings = scan_paths(paths, rules=rules, jobs=args.jobs)
+        if not args.no_clint:
+            findings.extend(check_native_sources())
+        if not args.no_contracts:
+            findings.extend(check_contracts())
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     if args.write_baseline:

@@ -446,3 +446,109 @@ def test_check_contracts_fails_on_orphaned_gate(tmp_path):
     rules = {f.rule for f in findings}
     assert "parity-scalar-twin" in rules
     assert "parity-equivalence-test" in rules
+
+
+# ----------------------------------------------------------------------
+# TSan race gate (contract 6): threaded kernels inside test-tsan
+# ----------------------------------------------------------------------
+THREADED_KERNEL_MODULE = """
+    from .core import NativeKernel
+
+
+    KERNEL = NativeKernel(
+        "k",
+        "int x;",
+        symbols={},
+        scalar_twin="repro.ref:scalar_k",
+        vector_twin="repro.ref:vector_k",
+        threaded=True,
+        serial_twin="repro.ref:serial_k",
+    )
+    """
+
+TSAN_RECIPE = (
+    "test-tsan:\n"
+    "\tREPRO_NATIVE_THREADS=4 sh scripts/native_sanitize.sh tsan -x -q \\\n"
+    "\t\ttests/test_k.py\n"
+)
+
+
+def _tsan_gate(tmp_path, *, makefile=None, tests=None, kernel=None):
+    files = dict(NATIVE_TREE_BASE)
+    files["repro/_native/foo.py"] = (
+        THREADED_KERNEL_MODULE if kernel is None else kernel
+    )
+    src = write_tree(tmp_path, files)
+    makefile_path = tmp_path / "Makefile"
+    if makefile is not None:
+        makefile_path.write_text(makefile)
+    tests_root = tmp_path / "tests"
+    tests_root.mkdir(exist_ok=True)
+    for rel, source in (tests or {}).items():
+        (tests_root / rel).write_text(textwrap.dedent(source))
+    return contracts.check_tsan_gate(
+        index_tree(src), makefile_path=makefile_path, tests_root=tests_root
+    )
+
+
+def test_missing_tsan_target_detected(tmp_path):
+    findings = _tsan_gate(tmp_path, makefile="test:\n\tpytest\n")
+    assert len(findings) == 1
+    assert findings[0].rule == "native-tsan-gate"
+    assert "no test-tsan target" in findings[0].message
+    assert "'k'" in findings[0].message or "k" in findings[0].message
+
+
+def test_tsan_recipe_without_profile_detected(tmp_path):
+    findings = _tsan_gate(
+        tmp_path,
+        makefile="test-tsan:\n\tpytest tests/test_k.py\n",
+        tests={"test_k.py": 'KERNEL = "k"\n'},
+    )
+    assert any(
+        "does not run under the tsan profile" in f.message for f in findings
+    )
+
+
+def test_tsan_recipe_with_missing_test_file_detected(tmp_path):
+    findings = _tsan_gate(tmp_path, makefile=TSAN_RECIPE)
+    messages = "\n".join(f.message for f in findings)
+    assert "missing test file tests/test_k.py" in messages
+    assert "not reachable from any test" in messages
+
+
+def test_kernel_covered_by_name_literal_passes(tmp_path):
+    findings = _tsan_gate(
+        tmp_path,
+        makefile=TSAN_RECIPE,
+        tests={"test_k.py": 'KERNELS = ("k",)\n'},
+    )
+    assert findings == []
+
+
+def test_kernel_covered_through_import_graph_passes(tmp_path):
+    findings = _tsan_gate(
+        tmp_path,
+        makefile=TSAN_RECIPE,
+        tests={"test_k.py": "import repro._native.foo\n"},
+    )
+    assert findings == []
+
+
+def test_uncovered_threaded_kernel_detected(tmp_path):
+    findings = _tsan_gate(
+        tmp_path,
+        makefile=TSAN_RECIPE,
+        tests={"test_k.py": "import os\n"},
+    )
+    assert len(findings) == 1
+    assert "threaded kernel 'k'" in findings[0].message
+    assert "not reachable from any test" in findings[0].message
+
+
+def test_tree_without_threaded_kernels_is_quiet(tmp_path):
+    unthreaded = THREADED_KERNEL_MODULE.replace(
+        "threaded=True,\n", ""
+    ).replace('serial_twin="repro.ref:serial_k",\n', "")
+    findings = _tsan_gate(tmp_path, kernel=unthreaded)
+    assert findings == []

@@ -17,6 +17,9 @@ once under ``REPRO_NO_NATIVE=1`` — so a kernel regression and a
 fallback regression are both loud.
 """
 
+import os
+import shutil
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -479,3 +482,161 @@ def test_build_info_reports_compiler_on_cache_hit():
     info = kernel.build_info()
     assert info["cache_hit"] is True
     assert info["compiler"] == compiled_with
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer build profiles: knob parsing, flags, and per-profile caching
+# ---------------------------------------------------------------------------
+def test_sanitize_profile_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+    assert native_core.sanitize_profile() is None
+    monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "")
+    assert native_core.sanitize_profile() is None
+    monkeypatch.setenv("REPRO_NATIVE_SANITIZE", " TSan ")
+    assert native_core.sanitize_profile() == "tsan"
+    monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "msan")
+    with pytest.raises(ValueError, match="msan"):
+        native_core.sanitize_profile()
+
+
+def test_malformed_sanitize_knob_fails_loudly(monkeypatch):
+    """A typo'd knob must raise, never silently build uninstrumented."""
+    kernel = native_core.get_kernel("counting_sort")
+    kernel.reset()
+    monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "nope")
+    try:
+        with pytest.raises(ValueError, match="nope"):
+            kernel.lib()
+    finally:
+        monkeypatch.delenv("REPRO_NATIVE_SANITIZE", raising=False)
+        kernel.reset()
+
+
+def test_build_flags_per_profile():
+    kernel = native_core.get_kernel("counting_sort")
+    plain = kernel.build_flags(None)
+    assert "-O3" in plain and "-Werror" not in plain
+    assert "-pthread" in plain  # counting_sort is threaded
+    for profile, extra in native_core.SANITIZE_PROFILES.items():
+        flags = kernel.build_flags(profile)
+        for flag in extra:
+            assert flag in flags
+        # instrumented builds keep symbols and promote warnings
+        assert "-g" in flags and "-Werror" in flags
+        assert "-O3" not in flags
+
+
+def test_so_cache_keyed_per_profile():
+    """Instrumented .so files never shadow the -O3 build (or each other)."""
+    kernel = native_core.get_kernel("counting_sort")
+    paths = {
+        kernel._so_path(p)
+        for p in (None, *native_core.SANITIZE_PROFILES)
+    }
+    assert len(paths) == 1 + len(native_core.SANITIZE_PROFILES)
+    assert all(kernel.source_digest in p for p in paths)
+
+
+def test_ubsan_profile_builds_and_reports():
+    """REPRO_NATIVE_SANITIZE=ubsan recompiles with the sanitizer flags
+    (ubsan needs no runtime preload, so it can run inside this suite).
+
+    The ambient knob is restored by hand — not via monkeypatch — so the
+    kernel is rebuilt under whatever profile the enclosing leg runs
+    (the sanitize legs execute this very test with the knob set)."""
+    kernel = native_core.get_kernel("counting_sort")
+    if kernel.lib() is None:
+        pytest.skip("no C toolchain")
+    ambient = os.environ.get("REPRO_NATIVE_SANITIZE")
+    os.environ["REPRO_NATIVE_SANITIZE"] = "ubsan"
+    kernel.reset()
+    try:
+        info = kernel.build_info()
+        assert info["available"] is True
+        assert info["profile"] == "ubsan"
+        assert "-fsanitize=undefined" in info["flags"]
+        assert "-Werror" in info["flags"]
+    finally:
+        if ambient is None:
+            os.environ.pop("REPRO_NATIVE_SANITIZE", None)
+        else:
+            os.environ["REPRO_NATIVE_SANITIZE"] = ambient
+        kernel.reset()
+    assert kernel.lib() is not None
+    assert kernel.build_info()["profile"] == native_core.sanitize_profile()
+
+
+# ---------------------------------------------------------------------------
+# Build provenance: sidecar records version + flags; $CC wrappers work
+# ---------------------------------------------------------------------------
+def test_sidecar_records_version_and_flags():
+    kernel = native_core.get_kernel("counting_sort")
+    if kernel.lib() is None:
+        pytest.skip("no C toolchain")
+    info = kernel.build_info()
+    assert info["compiler_version"]
+    # whatever profile is ambient (the sanitize legs re-run this test
+    # with REPRO_NATIVE_SANITIZE set), the recorded flags must match it
+    assert info["flags"] == kernel.build_flags(info["profile"])
+    kernel.reset()
+    assert kernel.lib() is not None
+    cached = kernel.build_info()
+    assert cached["cache_hit"] is True
+    assert cached["compiler_version"] == info["compiler_version"]
+    assert cached["flags"] == info["flags"]
+
+
+def test_compiler_honors_cc_wrapper_with_args(monkeypatch):
+    if not shutil.which("cc"):
+        pytest.skip("no cc on PATH")
+    monkeypatch.setenv("CC", "cc -pipe")
+    assert native_core._compiler() == ["cc", "-pipe"]
+
+
+def test_compiler_falls_back_past_a_bogus_cc(monkeypatch):
+    monkeypatch.setenv("CC", "definitely-not-a-compiler --fast")
+    argv = native_core._compiler()
+    assert argv is None or argv[0] != "definitely-not-a-compiler"
+
+
+def test_compiler_version_is_one_line():
+    cc = native_core._compiler()
+    if cc is None:
+        pytest.skip("no C compiler")
+    version = native_core._compiler_version(cc)
+    assert version and "\n" not in version
+
+
+# ---------------------------------------------------------------------------
+# Compile failures surface their diagnostics instead of vanishing
+# ---------------------------------------------------------------------------
+BROKEN_SRC = (
+    "#include <stdint.h>\n"
+    "int64_t broken(void) { return missing_symbol; }\n"
+)
+
+
+def test_compile_failure_surfaces_stderr():
+    if native_core._compiler() is None:
+        pytest.skip("no C compiler")
+    kernel = native_core.NativeKernel(
+        "test_broken_fixture",
+        BROKEN_SRC,
+        symbols={},
+        scalar_twin="builtins:sum",
+        vector_twin="builtins:sum",
+    )
+    try:
+        with pytest.raises(native_core.NativeBuildError) as excinfo:
+            kernel._build(None)
+        assert "missing_symbol" in excinfo.value.stderr
+        assert "test_broken_fixture" in str(excinfo.value)
+        # the soft path degrades to the fallback but keeps the diagnosis
+        assert kernel.lib() is None
+        info = kernel.build_info()
+        assert info["available"] is False
+        assert info["status"].startswith("compile failed:")
+        assert "missing_symbol" in info["compile_stderr"]
+        assert info["fallback"] == info["status"]
+    finally:
+        native_core._KERNELS.pop("test_broken_fixture", None)
