@@ -1,0 +1,93 @@
+#!/bin/sh
+# Degradation-ladder grid check (the `make test-faults` leg):
+#   1. the ordering bench grid with every native kernel build failing
+#      (injected `native-build-fail`) must exit 0 — breakers open and
+#      the vector/scalar twins carry the run,
+#   2. the same grid runs clean with the native tier disabled up front
+#      (REPRO_NO_NATIVE=1),
+#   3. stdout (timings normalised) and every cached ordering entry —
+#      permutation bits, cost, metadata including the recorded engine
+#      tier — must be identical between the two runs,
+#   4. `--native-info --health` under the fault must report the open
+#      breakers (small grids can short-circuit to the scalar tier
+#      before dispatching a kernel, so the breaker proof is explicit).
+# Run from the repo root.
+set -eu
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+export PYTHONPATH=src
+unset REPRO_FAULTS REPRO_NO_NATIVE REPRO_NO_SHM 2>/dev/null || true
+# pgp is the smallest dataset whose work crosses VECTOR_MIN_WORK, so
+# the grid genuinely dispatches native kernels (and degrades) instead
+# of short-circuiting to the scalar tier
+GRID="fig1 --datasets pgp --schemes rcm,degree_sort,natural,random"
+NORMALIZE='s/\([0-9][0-9]*\.[0-9]s\)/(Xs)/g'
+
+echo "== leg 1: grid under native-build-fail:p=1 must exit 0"
+REPRO_FAULTS="native-build-fail:p=1" REPRO_CACHE_DIR="$WORK/faulted" \
+    python -m repro.bench $GRID 2>"$WORK/faulted.err" \
+    | sed "$NORMALIZE" >"$WORK/faulted.out"
+grep -q "\[degrade\]" "$WORK/faulted.err" || {
+    echo "FAIL: faulted run printed no [degrade] warning" >&2
+    cat "$WORK/faulted.err" >&2
+    exit 1
+}
+
+echo "== leg 2: clean grid with REPRO_NO_NATIVE=1"
+REPRO_NO_NATIVE=1 REPRO_CACHE_DIR="$WORK/clean" \
+    python -m repro.bench $GRID | sed "$NORMALIZE" >"$WORK/clean.out"
+
+echo "== leg 3: stdout and cached orderings must be bit-identical"
+diff -u "$WORK/clean.out" "$WORK/faulted.out" || {
+    echo "FAIL: degraded run printed different results" >&2
+    exit 1
+}
+python - "$WORK/faulted" "$WORK/clean" <<'EOF'
+import json
+import os
+import sys
+
+import numpy as np
+
+def entries(root):
+    base = os.path.join(root, "orderings")
+    found = {}
+    for dirpath, _dirs, files in os.walk(base):
+        for name in files:
+            if name.endswith(".npz"):
+                path = os.path.join(dirpath, name)
+                found[os.path.relpath(path, base)] = path
+    return found
+
+faulted, clean = entries(sys.argv[1]), entries(sys.argv[2])
+assert faulted, "faulted run cached no orderings"
+assert set(faulted) == set(clean), (sorted(faulted), sorted(clean))
+for rel in sorted(faulted):
+    with np.load(faulted[rel], allow_pickle=False) as a, \
+            np.load(clean[rel], allow_pickle=False) as b:
+        assert np.array_equal(a["permutation"], b["permutation"]), rel
+        assert int(a["cost"]) == int(b["cost"]), rel
+        meta_a = json.loads(str(a["metadata"]))
+        meta_b = json.loads(str(b["metadata"]))
+    assert meta_a == meta_b, (rel, meta_a, meta_b)
+    # the recorded tier is the fallback, never the faulted native tier
+    assert meta_a.get("engine", "scalar") != "native", (rel, meta_a)
+print(f"compared {len(faulted)} ordering entries: identical")
+EOF
+
+echo "== leg 4: --native-info --health reports the open breakers"
+out=$(REPRO_FAULTS="native-build-fail:p=1" \
+    python -m repro.bench --native-info --health 2>/dev/null)
+printf '%s\n' "$out" | grep -q "native-build-fail" || {
+    echo "FAIL: health report shows no native-build-fail breaker" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+}
+printf '%s\n' "$out" | grep -q "\[breaker\]" || {
+    echo "FAIL: health report lists no open breaker" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+}
+
+echo "degrade grid check: OK"

@@ -52,6 +52,7 @@ profile and turn any sanitizer report into a structured failure via
 from __future__ import annotations
 
 import ctypes
+import functools
 import hashlib
 import json
 import os
@@ -60,11 +61,15 @@ import shutil
 import subprocess
 import tempfile
 from contextlib import contextmanager
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence, TypeVar
+
+from ..resilience import degrade, faults
 
 __all__ = [
     "NativeKernel",
     "NativeBuildError",
+    "guarded",
+    "runtime_gate",
     "get_kernel",
     "kernel_names",
     "build_info_all",
@@ -215,6 +220,7 @@ def _compiler_version(cc: Sequence[str]) -> str | None:
             timeout=10,
         )
     except (OSError, subprocess.SubprocessError):
+        # degrade: version probe only; the build itself reports errors
         return None
     line = (proc.stdout or proc.stderr).splitlines()
     return line[0].strip() if line else None
@@ -415,6 +421,15 @@ class NativeKernel:
 
     def _build(self, profile: str | None) -> ctypes.CDLL:
         """Compile (or reuse) the kernel and load it with prototypes."""
+        # injected before the cache probe so the fault fires on warm
+        # .so caches too — the degradation path must not depend on
+        # whether this machine compiled before
+        if faults.maybe_native_build_fail(self.name):
+            raise NativeBuildError(
+                f"kernel {self.name!r} failed to compile: "
+                "injected native-build-fail",
+                stderr="injected fault: native-build-fail",
+            )
         so_path = self._so_path(profile)
         self._profile = profile
         self._cache_hit = os.path.exists(so_path)
@@ -494,10 +509,30 @@ class NativeKernel:
             self._lib = None
             first = exc.stderr.splitlines()[0] if exc.stderr else str(exc)
             self._status = f"compile failed: {first}"
+            # open the circuit breaker: dispatch falls to the vector
+            # twin, and the degradation is counted/warned (or raised,
+            # under REPRO_DEGRADE=strict) instead of vanishing
+            degrade.record_kernel_fault(self, exc, kind="native-build-fail")
         except Exception as exc:  # pragma: no cover - toolchain dependent
             self._lib = None
             self._status = f"unavailable ({exc.__class__.__name__})"
         return self._lib
+
+    def usable(self) -> ctypes.CDLL | None:
+        """The compiled kernel, circuit-breaker gated.
+
+        Like :meth:`lib`, but additionally ``None`` while the kernel's
+        breaker is open (cool-down after a build or runtime fault), so
+        gate checks of the form ``if KERNEL.usable() is None: fall back``
+        honour the degradation ladder.  The half-open probe dispatch is
+        granted here once the cool-down is spent.
+        """
+        lib = self.lib()
+        if lib is None:
+            return None
+        if not degrade.kernel_allowed(self):
+            return None
+        return lib
 
     def reset(self) -> None:
         """Forget the build attempt (tests re-run with env changes)."""
@@ -510,13 +545,21 @@ class NativeKernel:
         self._profile = None
         self._compile_stderr = None
         self._cache_hit = None
+        degrade.reset_breaker(self.name)
 
     # -- reporting -----------------------------------------------------
     def build_info(self) -> dict:
-        """Status of this kernel after (attempting) the build."""
+        """Status of this kernel after (attempting) the build.
+
+        A kernel whose circuit breaker is open reports ``status:
+        "degraded: ..."`` with the triggering exception text — never a
+        stale ``"cached"``/``"compiled"`` from the sidecar: the build
+        cache knows how the ``.so`` was produced, not whether this
+        process is actually dispatching to it.
+        """
         self.lib()
         available = self._lib is not None
-        return {
+        info = {
             "kernel": self.name,
             "status": self._status,
             "available": available,
@@ -532,7 +575,80 @@ class NativeKernel:
             "vector_twin": self.vector_twin,
             "threaded": self.threaded,
             "serial_twin": self.serial_twin,
+            "degraded": False,
         }
+        breaker = degrade.breaker_state(self.name)
+        if breaker is not None and breaker.state == "open":
+            reason = breaker.reason or breaker.kind or "unknown fault"
+            info["status"] = f"degraded: {reason}"
+            info["available"] = False
+            info["fallback"] = f"breaker open ({breaker.kind}): {reason}"
+            info["degraded"] = True
+        return info
+
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def runtime_gate(kernel: NativeKernel) -> bool:
+    """Fire the injected runtime fault for ``kernel``, if scheduled.
+
+    For dispatch sites that call library symbols directly instead of
+    going through a :func:`guarded` wrapper.  Returns ``True`` to
+    proceed natively; an injected fault opens the breaker and returns
+    ``False`` so the caller drops to its twin.
+    """
+    try:
+        faults.maybe_native_runtime_fault(kernel.name)
+    except faults.InjectedFault as exc:
+        degrade.record_kernel_fault(kernel, exc)
+        return False
+    return True
+
+
+def guarded(kernel: NativeKernel) -> Callable[[_F], _F]:
+    """Wrap a native dispatch function with ``kernel``'s circuit breaker.
+
+    The decorated function keeps its ``-> result | None`` contract
+    (``None`` = fall back to the twin) and gains the degradation ladder:
+
+    * an **open breaker** short-circuits to ``None`` (one cool-down skip
+      consumed) without touching the native tier;
+    * the injected ``native-runtime-fault`` seam fires *before* the
+      call, never mid-kernel;
+    * any exception escaping the native dispatch **opens the breaker**
+      and returns ``None`` — the caller's twin fallback runs, the
+      degradation is counted (or raised under ``REPRO_DEGRADE=strict``);
+    * a successful native result closes an open breaker (half-open
+      probe succeeded).
+
+    Injected :class:`~repro.resilience.faults.RunAborted` and strict-mode
+    :class:`~repro.resilience.degrade.DegradationError` propagate — they
+    are verdicts about the run, not kernel faults to absorb.
+    """
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if kernel.lib() is None:
+                return None
+            if not degrade.kernel_allowed(kernel):
+                return None
+            try:
+                faults.maybe_native_runtime_fault(kernel.name)
+                result = fn(*args, **kwargs)
+            except (faults.RunAborted, degrade.DegradationError):
+                raise
+            except Exception as exc:
+                degrade.record_kernel_fault(kernel, exc)
+                return None
+            if result is not None:
+                degrade.record_kernel_recovery(kernel)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def get_kernel(name: str) -> NativeKernel:
@@ -579,7 +695,7 @@ def collect_sanitizer_reports(log_dir: str) -> list[dict]:
             with open(path, errors="replace") as f:
                 text = f.read()
         except OSError:
-            continue
+            continue  # degrade: unreadable report; the rest still collected
         if not text.strip():
             continue
         summary = next(

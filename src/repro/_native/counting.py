@@ -21,7 +21,7 @@ import ctypes
 
 import numpy as np
 
-from .core import MAX_THREADS, NativeKernel, native_threads
+from .core import MAX_THREADS, NativeKernel, guarded, native_threads
 
 __all__ = ["KERNEL", "run"]
 
@@ -123,6 +123,7 @@ KERNEL = NativeKernel(
 )
 
 
+@guarded(KERNEL)
 def run(keys: np.ndarray, num_buckets: int) -> np.ndarray | None:
     """Stable argsort of small-integer ``keys``, or None on fallback.
 

@@ -50,7 +50,7 @@ import ctypes
 
 import numpy as np
 
-from .core import MAX_THREADS, NativeKernel, native_threads
+from .core import MAX_THREADS, NativeKernel, guarded, native_threads
 
 __all__ = ["KERNEL", "run"]
 
@@ -372,6 +372,7 @@ MAX_WINDOW_SLOTS = 1 << 22
 PAR_MIN_EDGES = 4096
 
 
+@guarded(KERNEL)
 def run(
     light_indptr: np.ndarray,
     light_targets: np.ndarray,

@@ -30,7 +30,7 @@ import ctypes
 
 import numpy as np
 
-from .core import NativeKernel
+from .core import NativeKernel, guarded
 
 __all__ = ["KERNEL", "refine", "grow_region", "hem_match", "coarse_map"]
 
@@ -463,6 +463,7 @@ def _scratch(key: str, size: int, dtype) -> np.ndarray:
 _EMPTY_F64 = np.empty(0, dtype=np.float64)
 
 
+@guarded(KERNEL)
 def refine(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -519,6 +520,7 @@ def refine(
     return True
 
 
+@guarded(KERNEL)
 def grow_region(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -558,6 +560,7 @@ def grow_region(
     return float(grown[0])
 
 
+@guarded(KERNEL)
 def hem_match(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -598,6 +601,7 @@ def hem_match(
     return match
 
 
+@guarded(KERNEL)
 def coarse_map(match: np.ndarray) -> tuple[np.ndarray, int] | None:
     """Native matching-to-coarse-map; None when unavailable."""
     lib = KERNEL.lib()

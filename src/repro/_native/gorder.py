@@ -34,7 +34,7 @@ import ctypes
 
 import numpy as np
 
-from .core import NativeKernel
+from .core import NativeKernel, guarded
 
 __all__ = ["KERNEL", "run"]
 
@@ -205,6 +205,7 @@ KERNEL = NativeKernel(
 )
 
 
+@guarded(KERNEL)
 def run(
     indptr: np.ndarray,
     indices: np.ndarray,

@@ -35,7 +35,7 @@ import ctypes
 
 import numpy as np
 
-from .core import MAX_THREADS, NativeKernel, native_threads
+from .core import MAX_THREADS, NativeKernel, guarded, native_threads
 
 __all__ = ["KERNEL", "run"]
 
@@ -358,6 +358,7 @@ KERNEL = NativeKernel(
 _I64_MIN = np.iinfo(np.int64).min
 
 
+@guarded(KERNEL)
 def run(
     data: bytes, one_based: bool = False
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool, int, int | None] | None:

@@ -27,7 +27,7 @@ import ctypes
 
 import numpy as np
 
-from .core import MAX_THREADS, NativeKernel, native_threads
+from .core import MAX_THREADS, NativeKernel, guarded, native_threads
 
 __all__ = ["KERNEL", "run"]
 
@@ -216,6 +216,7 @@ def _shard_bounds(count: int, nthreads: int) -> list[tuple[int, int]]:
     return bounds
 
 
+@guarded(KERNEL)
 def run(
     graph,
     probability: float,

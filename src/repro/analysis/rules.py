@@ -30,6 +30,12 @@ Rules:
 ``mutable-default``
     Mutable default arguments — shared state across calls breaks replay
     isolation (and is a bug magnet generally).
+``bare-oserror-swallow``
+    ``except OSError: pass`` (or a bare ``return``) with no ``# degrade:``
+    routing comment.  Every swallowed I/O error must either route
+    through :func:`repro.resilience.degrade.record` (a named counter and
+    one warning) or carry a comment saying why the swallow is benign —
+    silent resource-pressure failures are how grids rot.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ SANCTIONED_ENV_MODULES = frozenset(
         "repro.graph.shm",
         "repro.graph.store",
         "repro.analysis.sanitize",
+        "repro.resilience.degrade",
         "repro.resilience.faults",
         "repro.resilience.journal",
     }
@@ -436,3 +443,68 @@ def check_mutable_default(ctx: FileContext) -> Iterator[Finding]:
                     f"mutable default argument in {node.name}(); "
                     f"default to None and construct inside the body",
                 )
+
+
+_OSERROR_NAMES = frozenset({"OSError", "IOError", "EnvironmentError"})
+
+
+@rule(
+    "bare-oserror-swallow",
+    "except OSError: pass without a '# degrade:' routing comment",
+)
+def check_bare_oserror_swallow(ctx: FileContext) -> Iterator[Finding]:
+    """Flag silently swallowed I/O errors — route them or explain them.
+
+    An ``except OSError`` whose body only passes / returns nothing /
+    continues makes resource pressure (``ENOSPC``, a full ``/dev/shm``,
+    a vanished file) invisible.  The handler must either route the error
+    through :func:`repro.resilience.degrade.record` (named counter, one
+    warning) or carry a ``# degrade: <reason>`` comment stating why the
+    swallow is benign.  Subclass handlers (``FileNotFoundError``) are
+    not flagged — they narrate a specific, expected condition.
+    """
+
+    def caught_names(node: ast.AST | None) -> set[str]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Tuple):
+            return {n.id for n in node.elts if isinstance(n, ast.Name)}
+        if isinstance(node, ast.Name):
+            return {node.id}
+        return set()
+
+    def swallows(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None
+                or (
+                    isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is None
+                )
+            ):
+                continue
+            return False
+        return True
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not (_OSERROR_NAMES & caught_names(node.type)):
+            continue
+        if not swallows(node.body):
+            continue
+        end = max(
+            getattr(stmt, "end_lineno", None) or stmt.lineno
+            for stmt in node.body
+        )
+        span = ctx.lines[node.lineno - 1:end]
+        if any("# degrade:" in line for line in span):
+            continue
+        yield ctx.finding(
+            "bare-oserror-swallow", node,
+            "silently swallowed OSError; route it through "
+            "repro.resilience.degrade.record(...) or state why it is "
+            "benign with a '# degrade: <reason>' comment",
+        )

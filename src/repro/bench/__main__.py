@@ -16,7 +16,12 @@ Resilient execution (:mod:`repro.resilience`):
   missing ones execute, and the original experiment selection is
   restored from the run's meta record;
 * ``--timeout S`` / ``--retries K`` bound each cell's attempts; a cell
-  that exhausts them degrades (NaN in the grid) instead of aborting.
+  that exhausts them degrades (NaN in the grid) instead of aborting;
+* ``--health`` prints the degradation health report after the run —
+  open circuit breakers (native kernels re-dispatching to their
+  vector/scalar twins) and resource-pressure fallback counters
+  (:mod:`repro.resilience.degrade`); journaled runs always persist the
+  same report as a ``{"type": "health"}`` journal record.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import json
 import sys
 import time
 
+from ..resilience import degrade
 from ..resilience.faults import RunAborted
 from ..resilience.journal import RunJournal, cell_key, using_run
 from ..resilience.reporting import completeness, format_report
@@ -145,6 +151,11 @@ def main(argv: list[str] | None = None) -> int:
              "hit, fallback reason per kernel) and exit",
     )
     parser.add_argument(
+        "--health", action="store_true",
+        help="print the degradation health report (circuit breakers, "
+             "fallback counters) after the run",
+    )
+    parser.add_argument(
         "--run-id", metavar="ID", default=None,
         help="journal this run's cells under $REPRO_CACHE_DIR/runs/ID "
              "(checkpointing; enables --resume ID later)",
@@ -170,6 +181,10 @@ def main(argv: list[str] | None = None) -> int:
         for line in native_summary():
             print(line)
         print(json.dumps(build_info_all(), indent=2))
+        if args.health:
+            # after build_info_all: attempting every build is what arms
+            # the breakers the health report describes
+            print(degrade.format_health())
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -227,8 +242,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     if journal is None:
-        return _run_experiments(args, registry, ids, datasets, schemes,
-                                None)
+        status = _run_experiments(args, registry, ids, datasets, schemes,
+                                  None)
+        if args.health:
+            print(degrade.format_health())
+        return status
     status = 0
     with using_run(journal):
         try:
@@ -237,8 +255,11 @@ def main(argv: list[str] | None = None) -> int:
         except RunAborted as exc:
             print(f"[aborted] {exc}", file=sys.stderr)
             status = 3
+    journal.write_health()
     report = completeness(journal)
     print(format_report(report))
+    if args.health:
+        print(degrade.format_health())
     if status == 0 and not report.complete:
         status = 1
     return status

@@ -56,6 +56,7 @@ __all__ = [
     "collect_costs",
     "degraded_cells",
     "reset_degraded",
+    "reset_caches",
 ]
 
 _ordering_cache: dict[tuple[str, str], Ordering] = {}
@@ -73,6 +74,17 @@ def degraded_cells() -> list[tuple[str, str]]:
 def reset_degraded() -> None:
     """Forget recorded degradations (tests and fresh runs)."""
     _degraded.clear()
+
+
+def reset_caches() -> None:
+    """Clear the in-process ordering/measures memos (tests).
+
+    The bit-identity fault tests run the same grid twice in one process
+    (faulted vs clean) and must not serve the second run from the first
+    run's memo.
+    """
+    _ordering_cache.clear()
+    _measures_cache.clear()
 
 
 def _supervised() -> bool:

@@ -31,6 +31,7 @@ import hashlib
 from ..graph import shm as graph_shm
 from ..graph import store as graph_store
 from ..graph.csr import CSRGraph
+from ..resilience import degrade
 from . import catalog as _catalog_module
 from .catalog import CATALOG, LARGE_SET, SMALL_SET, DatasetSpec, audit_graph
 
@@ -118,6 +119,15 @@ def _load_uncached(name: str) -> CSRGraph:
         graph = graph_shm.attach_graph(meta)
         if graph is not None:
             return graph
+        # the parent promised this dataset over shm but the attach
+        # failed — the per-worker store/build ladder below still serves
+        # it, at per-worker cost; make the downgrade visible
+        degrade.record(
+            "datasets.load",
+            "shm-fallback",
+            f"{name}: shared segment unavailable, "
+            "loading per worker instead",
+        )
     store = graph_store.default_store()
     key = dataset_store_key(name) if store is not None else ""
     if store is not None:

@@ -38,6 +38,7 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from ..resilience import degrade, faults
 from .csr import CSRGraph
 
 __all__ = [
@@ -125,6 +126,9 @@ def publish_graph(graph: CSRGraph) -> dict | None:
         return meta
     nbytes = 8 * (n + 1) + 8 * m + (8 * m if weighted else 0)
     try:
+        # machine-independent injection key: the content hash, not the
+        # pid-bearing segment name
+        faults.maybe_shm_exhausted(graph.content_hash()[:16])
         segment = shared_memory.SharedMemory(
             name=name, create=True, size=max(nbytes, 1)
         )
@@ -132,9 +136,14 @@ def publish_graph(graph: CSRGraph) -> dict | None:
         # Leftover from a previous same-pid life (pid reuse) — adopt it.
         try:
             segment = shared_memory.SharedMemory(name=name)
-        except OSError:
+        except OSError as exc:
+            # degrade: callers fall back to per-worker store/mmap loads
+            degrade.record("shm.publish", "shm-exhausted", exc)
             return None
-    except OSError:
+    except OSError as exc:
+        # degrade: /dev/shm full (or unusable) — every worker loads the
+        # graph itself instead of attaching the shared segment
+        degrade.record("shm.publish", "shm-exhausted", exc)
         return None
     buf = segment.buf
     offset = 0
@@ -192,7 +201,14 @@ def attach_graph(meta: dict) -> CSRGraph | None:
     if segment is None:
         try:
             segment = shared_memory.SharedMemory(name=name)
-        except (FileNotFoundError, OSError):
+        except FileNotFoundError as exc:
+            # degrade: segment gone (owner died / unlinked) — the caller
+            # rebuilds or mmap-loads the graph per worker
+            degrade.record("shm.attach", "segment-missing", exc)
+            return None
+        except OSError as exc:
+            # degrade: attach refused (permissions, exhaustion)
+            degrade.record("shm.attach", "attach-failed", exc)
             return None
         # Attaching registered the segment with the resource tracker,
         # which would unlink it when *this* process exits — but only the

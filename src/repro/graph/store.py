@@ -53,7 +53,7 @@ import tempfile
 import numpy as np
 
 from ..analysis import sanitize
-from ..resilience import faults
+from ..resilience import degrade, faults
 from .csr import CSRGraph
 
 __all__ = [
@@ -171,7 +171,7 @@ def write_graph_file(path: str, graph: CSRGraph) -> str:
         try:
             os.unlink(tmp_path)
         except OSError:
-            pass
+            pass  # degrade: scratch file on a refusing volume; no route
         raise
     faults.maybe_cache_corrupt(path)
     return path
@@ -271,12 +271,19 @@ class GraphStore:
         """Full path of the entry for ``key``."""
         return os.path.join(self.root, f"{key}.rgr")
 
-    def _quarantine(self, path: str) -> None:
+    def _quarantine(self, path: str, reason: str) -> None:
         try:
             os.replace(path, path + ".bad")
             self.quarantined += 1
-        except OSError:
-            pass
+        except OSError as exc:
+            # degrade: could not even move the damaged entry aside
+            degrade.record("graph-store", "quarantine-failed", exc)
+            return
+        degrade.record(
+            "graph-store",
+            "quarantined",
+            f"{os.path.basename(path)}: {reason}",
+        )
 
     def load(self, key: str, *, verify: bool = False) -> CSRGraph | None:
         """The stored graph, or ``None`` on a miss (never raises).
@@ -285,22 +292,43 @@ class GraphStore:
         as misses; the caller rebuilds and :meth:`save` overwrites.
         """
         path = self.path(key)
+        if os.path.isfile(path) and faults.maybe_store_torn_read(path):
+            # deterministic stand-in for an mmap SIGBUS / torn page:
+            # same quarantine-and-rebuild path as genuine damage
+            self._quarantine(path, "injected store-torn-read")
+            self.misses += 1
+            return None
         try:
             graph = read_graph_file(path, verify=verify)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except _CORRUPTION_ERRORS:
+        except _CORRUPTION_ERRORS as exc:
             if os.path.isfile(path):
-                self._quarantine(path)
+                self._quarantine(path, f"{exc.__class__.__name__}: {exc}")
             self.misses += 1
             return None
         self.hits += 1
         return graph
 
-    def save(self, key: str, graph: CSRGraph) -> str:
-        """Persist ``graph`` under ``key``; returns the entry path."""
-        return write_graph_file(self.path(key), graph)
+    def save(self, key: str, graph: CSRGraph) -> str | None:
+        """Persist ``graph`` under ``key``; returns the entry path.
+
+        A volume refusing the write (``ENOSPC``, read-only, …) degrades
+        to compute-without-cache: the error is counted and warned once
+        (:mod:`repro.resilience.degrade`) and ``None`` is returned.
+        ``write_graph_file`` stays strict — only the store layer owns
+        the degrade-not-crash contract.
+        """
+        path = self.path(key)
+        try:
+            faults.maybe_disk_full(path)
+            return write_graph_file(path, graph)
+        except OSError as exc:
+            # degrade: the built graph stays usable in memory; only the
+            # persistent layer is lost for this entry
+            degrade.record("graph-store.write", "disk-full", exc)
+            return None
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""
@@ -313,7 +341,7 @@ class GraphStore:
                     os.unlink(os.path.join(self.root, name))
                     removed += 1
                 except OSError:
-                    pass
+                    pass  # degrade: explicit maintenance; nothing to route
         return removed
 
     def entry_count(self) -> int:

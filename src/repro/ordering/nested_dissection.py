@@ -61,8 +61,8 @@ class NestedDissectionOrder(OrderingScheme):
         )
         counter.count_vertices(n)
         engine = resolve_engine()
-        if engine == "native" and _native_fm.KERNEL.lib() is None:
-            engine = "vector"  # partition kernels unavailable: numpy ran
+        if engine == "native" and _native_fm.KERNEL.usable() is None:
+            engine = "vector"  # partition kernels unavailable/degraded: numpy ran
         return ordering_from_sequence(sequence), {
             "max_depth": self._max_depth,
             "leaf_size": self._leaf_size,

@@ -46,7 +46,7 @@ import zipfile
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..resilience import faults
+from ..resilience import degrade, faults
 from .base import Ordering, OrderingScheme
 
 __all__ = [
@@ -138,14 +138,22 @@ class OrderingStore:
 
         Quarantined files keep the evidence for post-mortems without
         ever being picked up as cache entries again; the caller treats
-        the slot as a miss and recomputes.
+        the slot as a miss and recomputes.  Every quarantine — and every
+        failure to quarantine — increments a named degradation counter
+        (:mod:`repro.resilience.degrade`) instead of vanishing.
         """
         try:
             os.replace(path, path + ".bad")
             self.quarantined += 1
-        except OSError:
+        except OSError as exc:
+            # degrade: could not even move the damaged entry aside
+            degrade.record("ordering-store", "quarantine-failed", exc)
             return
-        del reason  # kept in the signature for call-site readability
+        degrade.record(
+            "ordering-store",
+            "quarantined",
+            f"{os.path.basename(path)}: {reason}",
+        )
 
     def load(
         self, graph: CSRGraph, scheme: OrderingScheme
@@ -157,6 +165,13 @@ class OrderingStore:
         ``<entry>.bad`` and reported as a miss; no exception escapes.
         """
         path = self.entry_path(graph, scheme)
+        if os.path.isfile(path) and faults.maybe_store_torn_read(path):
+            # the deterministic stand-in for an mmap SIGBUS / torn page:
+            # route the entry through the same quarantine-and-rebuild
+            # path a genuinely damaged file takes
+            self._quarantine(path, "injected store-torn-read")
+            self.misses += 1
+            return None
         try:
             with np.load(path, allow_pickle=False) as bundle:
                 if not _REQUIRED_FIELDS <= set(bundle.files):
@@ -194,17 +209,21 @@ class OrderingStore:
 
     def store(
         self, graph: CSRGraph, scheme: OrderingScheme, ordering: Ordering
-    ) -> str:
+    ) -> str | None:
         """Persist ``ordering`` atomically; returns the entry path.
 
         The entry carries its schema version and a sha256 over the full
         payload so :meth:`load` can verify it byte-for-byte.  The
         ``cache-corrupt`` injected fault tears the freshly written entry
         here (a simulated torn write) to keep the recovery path tested.
+
+        A cache volume refusing the write (``ENOSPC``, read-only, …)
+        degrades to compute-without-cache: the error is counted and
+        warned once (:mod:`repro.resilience.degrade`), ``None`` is
+        returned, and the run continues.
         """
         path = self.entry_path(graph, scheme)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
         permutation = ordering.permutation.astype(np.int64)
         metadata_json = json.dumps(ordering.metadata, sort_keys=True)
         payload = io.BytesIO()
@@ -218,21 +237,37 @@ class OrderingStore:
                 permutation, ordering.cost, metadata_json
             ),
         )
-        fd, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=".tmp-", suffix=".npz"
-        )
+        tmp_path = None
         try:
+            faults.maybe_disk_full(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".npz"
+            )
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload.getvalue())
             os.replace(tmp_path, path)
+        except OSError as exc:
+            self._discard_tmp(tmp_path)
+            # degrade: the run keeps the computed ordering in memory and
+            # simply loses the persistent layer for this entry
+            degrade.record("ordering-store.write", "disk-full", exc)
+            return None
         except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+            self._discard_tmp(tmp_path)
             raise
         faults.maybe_cache_corrupt(path)
         return path
+
+    @staticmethod
+    def _discard_tmp(tmp_path: str | None) -> None:
+        """Best-effort scratch-file cleanup after a failed write."""
+        if tmp_path is None:
+            return
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass  # degrade: scratch file on a refusing volume; no route
 
     def get_or_compute(
         self, graph: CSRGraph, scheme: OrderingScheme
@@ -261,11 +296,11 @@ class OrderingStore:
                     os.unlink(os.path.join(dirpath, name))
                     removed += 1
                 except OSError:
-                    pass
+                    pass  # degrade: explicit maintenance; nothing to route
             try:
                 os.rmdir(dirpath)
             except OSError:
-                pass
+                pass  # degrade: non-empty dir is fine during clear()
         return removed
 
     def entry_count(self) -> int:

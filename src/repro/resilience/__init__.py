@@ -22,6 +22,13 @@ pipeline survive such failures *and* prove it under injected faults:
     property-tested, not hoped for.
 :mod:`~repro.resilience.reporting`
     Completeness reports over a run journal (ok / degraded / replayed).
+:mod:`~repro.resilience.degrade`
+    The process-wide degradation supervisor: per-kernel circuit
+    breakers over the ``native > vector > scalar`` engine ladder,
+    named counters for every resource-pressure fallback (shm
+    exhaustion, disk-full cache writes, quarantined entries), and the
+    run-level health report behind ``python -m repro.bench --health``.
+    ``REPRO_DEGRADE=strict`` turns any degradation into a hard error.
 
 See ``docs/robustness.md`` for the fault model, the journal schema, and
 the resume semantics.
@@ -29,6 +36,14 @@ the resume semantics.
 
 from __future__ import annotations
 
+from .degrade import (
+    ENV_DEGRADE,
+    BreakerState,
+    DegradationError,
+    degrade_mode,
+    format_health,
+    health_report,
+)
 from .faults import (
     ENV_FAULTS,
     FaultPlan,
@@ -68,4 +83,10 @@ __all__ = [
     "active_plan",
     "parse_spec",
     "ENV_FAULTS",
+    "ENV_DEGRADE",
+    "BreakerState",
+    "DegradationError",
+    "degrade_mode",
+    "health_report",
+    "format_health",
 ]

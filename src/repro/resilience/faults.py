@@ -13,7 +13,8 @@ Spec grammar (``;``-separated clauses, ``:``-separated fields)::
     spec    := clause (";" clause)*
     clause  := kind (":" name "=" value)*
     kind    := "worker-crash" | "cache-corrupt" | "cell-timeout"
-             | "run-abort"
+             | "run-abort" | "native-build-fail" | "native-runtime-fault"
+             | "shm-exhausted" | "disk-full" | "store-torn-read"
     params  := p=<float in [0,1]>   fire probability      (default 1)
                seed=<int>           schedule seed          (default 0)
                cells=<i,j,...>      restrict to cell indices
@@ -45,11 +46,35 @@ Fault kinds and their seams:
     The run journal raises :class:`RunAborted` after ``after`` records —
     a deterministic stand-in for ``kill -9`` mid-run, driving the
     ``--resume`` kill/resume cycle in CI.
+``native-build-fail``
+    :class:`repro._native.core.NativeKernel` compilation, including warm
+    ``.so`` cache hits — the kernel raises
+    :class:`~repro._native.core.NativeBuildError` as if ``cc`` failed, so
+    the degradation supervisor's circuit breaker and twin re-dispatch run
+    (:mod:`repro.resilience.degrade`).
+``native-runtime-fault``
+    The guarded native dispatch wrappers — the call raises
+    :class:`InjectedFault` *instead of* entering the C kernel (never
+    mid-kernel, so no partially-mutated buffers), opening the kernel's
+    breaker and re-dispatching to the vector/scalar twin.
+``shm-exhausted``
+    :func:`repro.graph.shm.publish_graph` — segment creation raises
+    ``OSError(ENOSPC)`` as if ``/dev/shm`` were full; workers degrade to
+    per-worker store/mmap loads.
+``disk-full``
+    The cache/journal write seams (:mod:`repro.graph.store`,
+    :mod:`repro.ordering.store`, :mod:`repro.resilience.journal`) —
+    the write raises ``OSError(ENOSPC)``; the run degrades to
+    compute-without-cache instead of crashing.
+``store-torn-read``
+    The store *read* seams — a load reports a torn/bit-rotted payload,
+    driving the quarantine-and-rebuild path without real mmap SIGBUS.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import os
 import time
@@ -68,12 +93,27 @@ __all__ = [
     "maybe_cell_timeout",
     "maybe_cache_corrupt",
     "maybe_run_abort",
+    "maybe_native_build_fail",
+    "maybe_native_runtime_fault",
+    "maybe_shm_exhausted",
+    "maybe_disk_full",
+    "maybe_store_torn_read",
 ]
 
 ENV_FAULTS = "REPRO_FAULTS"
 
 #: the recognised fault kinds (see module docstring for their seams).
-KINDS = ("worker-crash", "cache-corrupt", "cell-timeout", "run-abort")
+KINDS = (
+    "worker-crash",
+    "cache-corrupt",
+    "cell-timeout",
+    "run-abort",
+    "native-build-fail",
+    "native-runtime-fault",
+    "shm-exhausted",
+    "disk-full",
+    "store-torn-read",
+)
 
 #: exit code of a hard injected worker crash (visible in CellResult errors).
 CRASH_EXIT_CODE = 73
@@ -315,3 +355,86 @@ def maybe_run_abort(records_written: int) -> None:
         raise RunAborted(
             f"injected run-abort after {records_written} journal records"
         )
+
+
+def maybe_native_build_fail(kernel: str) -> bool:
+    """Whether compilation of native ``kernel`` should fail this process.
+
+    Checked at the very top of the build path so the fault fires even on
+    a warm ``.so`` cache; the schedule is keyed by kernel name alone so
+    one kernel fails identically in every process of a run.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    return plan.decide("native-build-fail", f"native-build:{kernel}")
+
+
+def maybe_native_runtime_fault(kernel: str) -> None:
+    """Raise an injected runtime kernel fault for ``kernel`` if scheduled.
+
+    Fires *before* the C call (never mid-kernel, so output buffers stay
+    untouched); the schedule draws per dispatch, keyed by kernel name and
+    how many times this process has dispatched it, so breaker probe calls
+    after the cool-down see fresh (reproducible) decisions.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    nth = plan.next_entry_count(f"native-call:{kernel}")
+    if plan.decide("native-runtime-fault", f"native-call:{kernel}:{nth}"):
+        raise InjectedFault(
+            f"injected native-runtime-fault in kernel {kernel!r} (call {nth})"
+        )
+
+
+def maybe_shm_exhausted(key: str) -> None:
+    """Raise ``OSError(ENOSPC)`` for the shm publish of ``key`` if scheduled.
+
+    ``key`` should be machine-independent (the graph content hash, not
+    the pid-bearing segment name) so the schedule reproduces across
+    hosts and pool workers.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.decide("shm-exhausted", f"shm:{key}"):
+        raise OSError(
+            errno.ENOSPC,
+            f"injected shm-exhausted publishing segment for {key}",
+        )
+
+
+def maybe_disk_full(path: str) -> None:
+    """Raise ``OSError(ENOSPC)`` for the cache write at ``path`` if scheduled.
+
+    Keyed like :func:`maybe_cache_corrupt` — the content-addressed entry
+    name plus this process's write count for it — so retried writes draw
+    fresh reproducible decisions.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    entry = _entry_key(path)
+    nth = plan.next_entry_count(f"disk-full:{entry}")
+    if plan.decide("disk-full", f"{entry}:{nth}"):
+        raise OSError(
+            errno.ENOSPC, f"injected disk-full writing cache entry {entry}"
+        )
+
+
+def maybe_store_torn_read(path: str) -> bool:
+    """Whether the store load of ``path`` should report a torn payload.
+
+    Returns True when the reader must treat the entry as corrupted (the
+    deterministic stand-in for an mmap SIGBUS / bit-rot mid-read);
+    the caller routes it through its quarantine-and-rebuild path.  Keyed
+    per entry and per-process read count so the rebuilt entry's next
+    read draws a fresh decision instead of looping forever.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    entry = _entry_key(path)
+    nth = plan.next_entry_count(f"torn-read:{entry}")
+    return plan.decide("store-torn-read", f"{entry}:{nth}")

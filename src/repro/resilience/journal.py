@@ -6,7 +6,7 @@ Every supervised bench run can journal its cells to::
 
 The journal is append-only JSONL — one object per line — so a killed
 run loses at most its torn final line (the reader skips unparsable
-lines).  Two record types:
+lines).  Record types (readers ignore unknown ones):
 
 ``{"type": "meta", ...}``
     Written once at run start: the experiment ids, dataset/scheme
@@ -21,6 +21,11 @@ lines).  Two record types:
     replays them without recomputing.  Ordering cells carry no value —
     their payload lives in the content-addressed ordering store, which a
     resume turns into pure cache hits.
+``{"type": "health", ...}``
+    Written once at run end: the degradation health report
+    (:func:`repro.resilience.degrade.health_report`) — counters, events,
+    and breaker states — so a journaled run records *how* it was
+    computed, not just that it finished.
 
 Only the process that opened the journal writes to it (pool workers
 inherit the handle via fork but their ``record`` calls are no-ops), so
@@ -40,7 +45,7 @@ from typing import Iterator
 
 import hashlib
 
-from . import faults
+from . import degrade, faults
 
 __all__ = [
     "RunJournal",
@@ -161,13 +166,26 @@ class RunJournal:
     # Writing
     # ------------------------------------------------------------------
     def _append(self, obj: dict) -> None:
-        os.makedirs(self.directory, exist_ok=True)
+        """Append one record; a refusing volume degrades, never crashes.
+
+        ``ENOSPC``/``OSError`` on the journal write costs this run its
+        checkpoint/resume granularity for the record — a recorded,
+        counted degradation (:mod:`repro.resilience.degrade`) — but must
+        not take down the run the journal exists to protect.
+        """
         line = json.dumps(obj, sort_keys=True, default=str)
         if self._torn_tail:
             line = "\n" + line
-            self._torn_tail = False
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        try:
+            faults.maybe_disk_full(self.path)
+            os.makedirs(self.directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError as exc:
+            # degrade: keep the in-memory record; only persistence is lost
+            degrade.record("run-journal.write", "disk-full", exc)
+            return
+        self._torn_tail = False
 
     def write_meta(self, **fields: object) -> None:
         """Record the run's experiment selection (once, at run start)."""
@@ -176,6 +194,20 @@ class RunJournal:
         obj: dict = {"type": "meta", "run_id": self.run_id, **fields}
         self._append(obj)
         self._meta = obj
+
+    def write_health(self, report: dict | None = None) -> None:
+        """Append the run's degradation health report (parent only).
+
+        One ``{"type": "health", ...}`` record at run end; readers of
+        older journals ignore the unknown type (``_load`` only keeps
+        ``meta``/``cell`` records), so the schema stays
+        backwards-compatible.
+        """
+        if os.getpid() != self._pid:
+            return
+        if report is None:
+            report = degrade.health_report()
+        self._append({"type": "health", "run_id": self.run_id, **report})
 
     def record(
         self,

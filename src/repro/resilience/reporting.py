@@ -6,12 +6,17 @@ partially completed grid looks exactly like a finished one.  The
 completeness report makes the difference loud — every journaled run ends
 by stating how many cells completed, which degraded (and why), and how
 much of the run was replayed from the journal versus computed fresh.
+The summary also surfaces this process's degradation counters
+(:mod:`repro.resilience.degrade` — breaker opens, cache-write failures,
+shm fallbacks), so an execution-substrate downgrade is as loud as a
+missing cell.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+from . import degrade
 from .journal import RunJournal
 
 __all__ = ["CompletenessReport", "completeness", "format_report"]
@@ -71,4 +76,6 @@ def format_report(report: CompletenessReport) -> str:
             "[warning] degraded cells are missing from this run's "
             "figures; rerun with --resume to retry them"
         )
+    for key, count in degrade.counters().items():
+        lines.append(f"[degrade] {key}: {count}")
     return "\n".join(lines)

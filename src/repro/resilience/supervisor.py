@@ -38,7 +38,7 @@ import os
 import time
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from . import faults
+from . import degrade, faults
 from .faults import _unit
 
 __all__ = ["CellResult", "run_supervised"]
@@ -135,7 +135,7 @@ def _worker_loop(
         try:
             task = tasks.recv()
         except (EOFError, OSError):
-            return
+            return  # degrade: supervisor pipe closed; worker exits
         if task is None:
             return
         index, attempt, cell = task
@@ -144,13 +144,17 @@ def _worker_loop(
             faults.maybe_cell_timeout(index, attempt, stall_seconds=stall)
             value = worker(cell)
         except Exception as exc:  # noqa: BLE001 - reported to supervisor
-            message = (index, attempt, False, None, _describe(exc))
+            ok, value, error = False, None, _describe(exc)
         else:
-            message = (index, attempt, True, value, None)
+            ok, error = True, None
+        # degradation events (breaker opens, cache write failures, …)
+        # piggyback on the result message so the parent's health report
+        # covers the whole pool, not just its own process
+        message = (index, attempt, ok, value, error, degrade.drain_outbox())
         try:
             results.send(message)
         except (BrokenPipeError, OSError):
-            return  # supervisor is gone; nothing left to report to
+            return  # degrade: supervisor is gone; nothing to report to
 
 
 class _WorkerHandle:
@@ -174,7 +178,7 @@ class _WorkerHandle:
             try:
                 conn.close()
             except OSError:
-                pass
+                pass  # degrade: pipe already gone with its worker
 
 
 def _run_sequential(
@@ -389,9 +393,11 @@ def _run_parallel(
                 if handle.results not in ready_readers:
                     continue
                 try:
-                    index, attempt, ok, value, error = handle.results.recv()
+                    (index, attempt, ok, value, error,
+                     degrade_events) = handle.results.recv()
                 except (EOFError, OSError):
-                    continue  # worker death; the liveness pass handles it
+                    continue  # degrade: worker death; liveness pass handles it
+                degrade.absorb(degrade_events)
                 if handle.current == (index, attempt):
                     handle.current = None
                     handle.deadline = None
@@ -416,7 +422,10 @@ def _run_parallel(
                     except (EOFError, OSError):
                         final = None
                     if final is not None:
-                        index, attempt, ok, value, error = final
+                        index, attempt, ok, value, error, degrade_events = (
+                            final
+                        )
+                        degrade.absorb(degrade_events)
                         if handle.current == (index, attempt):
                             handle.current = None
                         if ok and index not in results:
@@ -472,7 +481,7 @@ def _shutdown(handles: list[_WorkerHandle]) -> None:
             try:
                 handle.tasks.send(None)
             except (BrokenPipeError, OSError):
-                pass
+                pass  # degrade: worker already gone; shutdown proceeds
     deadline = time.monotonic() + 1.0
     for handle in handles:
         remaining = max(0.0, deadline - time.monotonic())

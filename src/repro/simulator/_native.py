@@ -23,11 +23,15 @@ _tried = False
 def lib() -> ctypes.CDLL | None:
     """The compiled kernel, or None when unavailable or disabled."""
     global _lib, _tried
-    if _tried:
-        return _lib
-    _tried = True
-    _lib = lru.KERNEL.lib()
-    return _lib
+    if not _tried:
+        _tried = True
+        _lib = lru.KERNEL.lib()
+    if _lib is None:
+        return None
+    # breaker-gated re-dispatch: an open circuit (build/runtime fault)
+    # drops the replay to the pure-Python walk until its cool-down
+    # elapses (repro.resilience.degrade)
+    return lru.KERNEL.usable()
 
 
 def build_info() -> str:

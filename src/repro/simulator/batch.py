@@ -35,6 +35,7 @@ import numpy as np
 
 from ..analysis import sanitize
 from .._native import core as native_core
+from .._native import lru as native_lru
 from . import _native
 from .cache import Cache
 from .hierarchy import MemoryHierarchy, ThreadCounters
@@ -102,7 +103,7 @@ def cache_access_batch(cache: Cache, lines: np.ndarray) -> np.ndarray:
         offsets = np.append(starts, n)
         group_sets = sorted_sets[starts]
     native = _native.lib()
-    if native is not None:
+    if native is not None and native_core.runtime_gate(native_lru.KERNEL):
         return _replay_native(
             cache, native, tags, order, offsets, group_sets, hits
         )

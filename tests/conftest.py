@@ -28,12 +28,14 @@ def _reset_resilience_state():
     injected faults active — clearing it here would neuter that leg.
     """
     from repro.bench import pool, runners
+    from repro.resilience import degrade
 
     yield
     runners.reset_degraded()
     pool.set_default_jobs(1)
     pool.set_default_timeout(None)
     pool.set_default_retries(2)
+    degrade.reset()
 
 
 @pytest.fixture(autouse=True)

@@ -26,6 +26,7 @@ EXPECTED_RULES = {
     "unordered-iter",
     "env-read",
     "mutable-default",
+    "bare-oserror-swallow",
 }
 
 
@@ -307,6 +308,99 @@ class TestMutableDefault:
             """
             def f(x=[]):  # reprolint: disable=mutable-default
                 pass
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# bare-oserror-swallow
+# ----------------------------------------------------------------------
+class TestBareOserrorSwallow:
+    def test_pass_body_flagged(self):
+        findings = lint(
+            """
+            import os
+            def f(path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            """
+        )
+        assert rules_of(findings) == {"bare-oserror-swallow"}
+
+    def test_bare_return_and_continue_flagged(self):
+        findings = lint(
+            """
+            import os
+            def f(path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    return
+            def g(paths):
+                for path in paths:
+                    try:
+                        os.unlink(path)
+                    except IOError:
+                        continue
+            def h(path):
+                try:
+                    os.unlink(path)
+                except (ValueError, OSError):
+                    return None
+            """
+        )
+        assert rules_of(findings) == {"bare-oserror-swallow"}
+        assert len(findings) == 3
+
+    def test_degrade_comment_exempts(self):
+        assert not lint(
+            """
+            import os
+            def f(path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass  # degrade: scratch file on a refusing volume
+            """
+        )
+
+    def test_routed_handler_clean(self):
+        assert not lint(
+            """
+            import os
+            from repro.resilience import degrade
+            def f(path):
+                try:
+                    os.unlink(path)
+                except OSError as exc:
+                    degrade.record("site", "kind", exc)
+                    return None
+            """
+        )
+
+    def test_subclass_handlers_not_flagged(self):
+        assert not lint(
+            """
+            import os
+            def f(path):
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+            """
+        )
+
+    def test_value_returning_handler_clean(self):
+        assert not lint(
+            """
+            import os
+            def f(path, reports):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    return reports
             """
         )
 

@@ -631,12 +631,14 @@ def test_compile_failure_surfaces_stderr():
             kernel._build(None)
         assert "missing_symbol" in excinfo.value.stderr
         assert "test_broken_fixture" in str(excinfo.value)
-        # the soft path degrades to the fallback but keeps the diagnosis
+        # the soft path opens the circuit breaker and keeps the diagnosis
         assert kernel.lib() is None
         info = kernel.build_info()
         assert info["available"] is False
-        assert info["status"].startswith("compile failed:")
+        assert info["degraded"] is True
+        assert info["status"].startswith("degraded: ")
+        assert "failed to compile" in info["status"]
         assert "missing_symbol" in info["compile_stderr"]
-        assert info["fallback"] == info["status"]
+        assert "breaker open (native-build-fail)" in info["fallback"]
     finally:
         native_core._KERNELS.pop("test_broken_fixture", None)
